@@ -1,0 +1,85 @@
+package msqueue
+
+import "sync"
+
+// Blocking wraps the non-blocking queue with waiting semantics: DequeueWait
+// parks the caller until an item arrives or the queue is closed. It is the
+// adapter most applications want at the consumption edge of a pipeline,
+// while producers keep the lock-free enqueue path.
+//
+// Design note: the underlying container stays the lock-free MS queue; the
+// mutex and condition variable are a wakeup mechanism around it. Enqueue
+// briefly takes the mutex so that a consumer can never re-check the queue,
+// find it empty, and go to sleep *between* an item being published and its
+// signal — the classic lost-wakeup window. Consumers that find items on the
+// fast path never touch the mutex at all.
+type Blocking[T any] struct {
+	q Queue[T]
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+}
+
+// NewBlocking returns an empty blocking queue over a non-blocking MS queue.
+func NewBlocking[T any]() *Blocking[T] {
+	b := &Blocking[T]{q: New[T]()}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Enqueue appends v and wakes one waiting consumer. Enqueueing after Close
+// panics, matching the contract of closed Go channels.
+func (b *Blocking[T]) Enqueue(v T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		panic("msqueue: Enqueue on a closed Blocking queue")
+	}
+	b.q.Enqueue(v)
+	b.cond.Signal()
+}
+
+// Dequeue removes and returns the head value without blocking; ok is false
+// when the queue is empty (closed or not).
+func (b *Blocking[T]) Dequeue() (T, bool) {
+	return b.q.Dequeue()
+}
+
+// DequeueWait removes and returns the head value, blocking while the queue
+// is empty. It returns ok=false only after Close, once the queue has
+// drained.
+func (b *Blocking[T]) DequeueWait() (T, bool) {
+	// Fast path: an item is already there.
+	if v, ok := b.q.Dequeue(); ok {
+		return v, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		// Re-check under the lock: an enqueuer that published after our
+		// fast path must either have signalled before we took the lock (its
+		// item is visible now) or be blocked on the lock until we Wait.
+		if v, ok := b.q.Dequeue(); ok {
+			// Our wakeup may have raced another enqueue's signal intended
+			// for a second waiter; pass it along.
+			b.cond.Signal()
+			return v, true
+		}
+		if b.closed {
+			var zero T
+			return zero, false
+		}
+		b.cond.Wait()
+	}
+}
+
+// Close marks the queue closed and wakes every waiter. Items already
+// enqueued remain dequeueable; DequeueWait returns ok=false once drained.
+// Close is idempotent.
+func (b *Blocking[T]) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

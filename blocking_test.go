@@ -1,0 +1,207 @@
+package msqueue_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msqueue"
+)
+
+func TestBlockingBasic(t *testing.T) {
+	b := msqueue.NewBlocking[int]()
+	b.Enqueue(1)
+	b.Enqueue(2)
+	if v, ok := b.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+	if v, ok := b.DequeueWait(); !ok || v != 2 {
+		t.Fatalf("DequeueWait = %d,%v", v, ok)
+	}
+	if _, ok := b.Dequeue(); ok {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestBlockingWaitsForItem(t *testing.T) {
+	b := msqueue.NewBlocking[string]()
+	got := make(chan string, 1)
+	go func() {
+		v, ok := b.DequeueWait()
+		if !ok {
+			got <- "!closed"
+			return
+		}
+		got <- v
+	}()
+
+	select {
+	case v := <-got:
+		t.Fatalf("DequeueWait returned %q before any enqueue", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	b.Enqueue("wake")
+	select {
+	case v := <-got:
+		if v != "wake" {
+			t.Fatalf("DequeueWait = %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DequeueWait did not wake after Enqueue")
+	}
+}
+
+func TestBlockingCloseWakesAllWaiters(t *testing.T) {
+	b := msqueue.NewBlocking[int]()
+	const waiters = 5
+	var done sync.WaitGroup
+	var falses atomic.Int32
+	for i := 0; i < waiters; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			if _, ok := b.DequeueWait(); !ok {
+				falses.Add(1)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let them park
+	b.Close()
+	waitTimeout(t, &done, 5*time.Second)
+	if falses.Load() != waiters {
+		t.Fatalf("%d of %d waiters saw ok=false", falses.Load(), waiters)
+	}
+}
+
+func TestBlockingCloseDrainsRemainingItems(t *testing.T) {
+	b := msqueue.NewBlocking[int]()
+	b.Enqueue(1)
+	b.Enqueue(2)
+	b.Close()
+	if v, ok := b.DequeueWait(); !ok || v != 1 {
+		t.Fatalf("DequeueWait = %d,%v, want 1 after close", v, ok)
+	}
+	if v, ok := b.DequeueWait(); !ok || v != 2 {
+		t.Fatalf("DequeueWait = %d,%v, want 2 after close", v, ok)
+	}
+	if _, ok := b.DequeueWait(); ok {
+		t.Fatal("DequeueWait returned an item from a drained closed queue")
+	}
+}
+
+func TestBlockingCloseIsIdempotent(t *testing.T) {
+	b := msqueue.NewBlocking[int]()
+	b.Close()
+	b.Close()
+	if _, ok := b.DequeueWait(); ok {
+		t.Fatal("item from an empty closed queue")
+	}
+}
+
+func TestBlockingEnqueueAfterClosePanics(t *testing.T) {
+	b := msqueue.NewBlocking[int]()
+	b.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue after Close did not panic")
+		}
+	}()
+	b.Enqueue(1)
+}
+
+func TestBlockingProducersConsumersConservation(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5000
+	)
+	b := msqueue.NewBlocking[int]()
+	var (
+		prodWG sync.WaitGroup
+		consWG sync.WaitGroup
+		mu     sync.Mutex
+		seen   = make(map[int]int, producers*perProd)
+	)
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			local := make(map[int]int)
+			for {
+				v, ok := b.DequeueWait()
+				if !ok {
+					mu.Lock()
+					for k, n := range local {
+						seen[k] += n
+					}
+					mu.Unlock()
+					return
+				}
+				local[v]++
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProd; i++ {
+				b.Enqueue(p*perProd + i)
+			}
+		}(p)
+	}
+	prodWG.Wait()
+	b.Close()
+	waitTimeout(t, &consWG, 30*time.Second)
+
+	if len(seen) != producers*perProd {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}
+
+// TestBlockingSignalNotLost hammers the empty<->nonempty boundary, the
+// regime where a lost wakeup would park a consumer forever.
+func TestBlockingSignalNotLost(t *testing.T) {
+	b := msqueue.NewBlocking[int]()
+	const items = 20000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < items; i++ {
+			if _, ok := b.DequeueWait(); !ok {
+				t.Error("unexpected close")
+				return
+			}
+		}
+	}()
+	for i := 0; i < items; i++ {
+		b.Enqueue(i)
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("consumer lost a wakeup")
+	}
+	b.Close()
+}
+
+func waitTimeout(t *testing.T, wg *sync.WaitGroup, d time.Duration) {
+	t.Helper()
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+	case <-time.After(d):
+		t.Fatal("timed out waiting for goroutines")
+	}
+}

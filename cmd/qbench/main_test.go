@@ -1,0 +1,99 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseFigures(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []int
+		wantErr bool
+	}{
+		{give: "3", want: []int{3}},
+		{give: "4", want: []int{4}},
+		{give: "3,5", want: []int{3, 5}},
+		{give: " 3 , 4 ", want: []int{3, 4}},
+		{give: "all", want: []int{3, 4, 5}},
+		{give: "2", wantErr: true},
+		{give: "6", wantErr: true},
+		{give: "x", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseFigures(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseFigures(%q): want error", tt.give)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFigures(%q): %v", tt.give, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseFigures(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresWork(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("want error when neither -figure nor -experiment given")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	if err := run([]string{"-figure", "3", "-algos", "nope"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRunRejectsCSVWithMultipleFigures(t *testing.T) {
+	if err := run([]string{"-figure", "all", "-csv", t.TempDir() + "/x.csv"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRunTinyFigureWithCSV(t *testing.T) {
+	csv := t.TempDir() + "/fig.csv"
+	err := run([]string{
+		"-figure", "3",
+		"-procs", "2",
+		"-pairs", "200",
+		"-otherwork", "0s",
+		"-algos", "ms,two-lock",
+		"-cap", "1024",
+		"-quiet",
+		"-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValoisMemoryExperimentSmall(t *testing.T) {
+	if err := valoisMemoryExperiment(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionExperimentSmall(t *testing.T) {
+	if err := contentionExperiment(2000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"msqueue/internal/algorithms"
+)
+
+func TestRunPassesForMS(t *testing.T) {
+	code, err := run([]string{"-algo", "ms", "-procs", "3", "-iters", "300", "-rounds", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunPassesForEveryLinearizableAlgorithm(t *testing.T) {
+	for _, name := range []string{"two-lock", "single-lock", "mc", "plj", "valois", "ms-tagged", "channel"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			code, err := run([]string{"-algo", name, "-procs", "3", "-iters", "200", "-rounds", "1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0", code)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	if _, err := run([]string{"-algo", "nope"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if _, err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestVerdictNote(t *testing.T) {
+	// Exercise all branches of the note formatter.
+	lin := algoInfo(true)
+	flawedInfo := algoInfo(false)
+	if verdictNote(lin, true) != "linearizable as expected" {
+		t.Fatal("unexpected note for linearizable pass")
+	}
+	if verdictNote(flawedInfo, true) == "" || verdictNote(flawedInfo, false) == "" {
+		t.Fatal("empty note for flawed algorithm")
+	}
+}
+
+// algoInfo builds a minimal catalog entry for note-formatting tests.
+func algoInfo(linearizable bool) (info algorithms.Info) {
+	info.Linearizable = linearizable
+	return info
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"msqueue/internal/explore"
+)
+
+func TestRunAllScenariosMeetExpectations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model-checking suite is expensive")
+	}
+	code, err := run([]string{"-algo", "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d: some scenario missed its expected verdict", code)
+	}
+}
+
+func TestRunRejectsUnknownAlgo(t *testing.T) {
+	if _, err := run([]string{"-algo", "nope"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	clean := explore.Result{}
+	raced := explore.Result{Violations: []explore.Violation{{Kind: "linearizability"}}}
+	parked := explore.Result{Parked: 3}
+	capped := explore.Result{Capped: true}
+
+	tests := []struct {
+		name   string
+		res    explore.Result
+		expect string
+		wantOK bool
+	}{
+		{name: "clean meets clean", res: clean, expect: "clean", wantOK: true},
+		{name: "raced fails clean", res: raced, expect: "clean", wantOK: false},
+		{name: "parked fails clean", res: parked, expect: "clean", wantOK: false},
+		{name: "capped fails clean", res: capped, expect: "clean", wantOK: false},
+		{name: "raced meets races", res: raced, expect: "races", wantOK: true},
+		{name: "clean fails races", res: clean, expect: "races", wantOK: false},
+		{name: "parked meets blocking", res: parked, expect: "blocking", wantOK: true},
+		{name: "clean fails blocking", res: clean, expect: "blocking", wantOK: false},
+		{name: "unknown expectation", res: clean, expect: "???", wantOK: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, ok := classify(tt.res, tt.expect); ok != tt.wantOK {
+				t.Fatalf("classify ok = %v, want %v", ok, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestScenariosCoverEveryAlgo(t *testing.T) {
+	for _, algo := range []explore.Algo{explore.AlgoMS, explore.AlgoTwoLock, explore.AlgoValois, explore.AlgoStone, explore.AlgoMC} {
+		if len(scenarios(algo)) == 0 {
+			t.Fatalf("no scenarios for %v", algo)
+		}
+	}
+	if scenarios(explore.Algo(42)) != nil {
+		t.Fatal("unknown algo should have no scenarios")
+	}
+}

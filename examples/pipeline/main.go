@@ -1,0 +1,120 @@
+// Pipeline: a three-stage parallel text-processing pipeline in which the
+// stages are connected by Michael–Scott queues instead of channels.
+//
+// The queue's non-blocking property gives the pipeline a useful behaviour
+// under uneven load: a stage-2 worker descheduled mid-operation can never
+// wedge stage-1 producers or stage-3 consumers the way a held lock can —
+// exactly the robustness argument of the paper's multiprogramming
+// experiments. The example processes a corpus of synthetic log lines:
+// stage 1 parses, stage 2 filters and normalises, stage 3 aggregates.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"msqueue"
+)
+
+type logLine struct {
+	raw string
+}
+
+type event struct {
+	level string
+	msg   string
+}
+
+func main() {
+	var (
+		parseQ = msqueue.New[logLine]() // stage 1 -> stage 2
+		aggQ   = msqueue.New[event]()   // stage 2 -> stage 3
+	)
+
+	const lines = 10000
+	levels := []string{"DEBUG", "INFO", "WARN", "ERROR"}
+
+	// Stage 1: generators parse raw lines into the first queue.
+	var gen sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		gen.Add(1)
+		go func(w int) {
+			defer gen.Done()
+			for i := w; i < lines; i += 3 {
+				lvl := levels[i%len(levels)]
+				parseQ.Enqueue(logLine{raw: fmt.Sprintf("%s|worker=%d seq=%d", lvl, w, i)})
+			}
+		}(w)
+	}
+
+	// Stage 2: filters keep WARN and ERROR lines, normalising them.
+	var (
+		filt       sync.WaitGroup
+		genDone    = make(chan struct{})
+		stage2Done = make(chan struct{})
+		dropped    atomic.Int64
+	)
+	for w := 0; w < 2; w++ {
+		filt.Add(1)
+		go func() {
+			defer filt.Done()
+			for {
+				line, ok := parseQ.Dequeue()
+				if !ok {
+					select {
+					case <-genDone:
+						if _, again := parseQ.Dequeue(); !again {
+							return
+						}
+					default:
+					}
+					continue
+				}
+				level, msg, _ := strings.Cut(line.raw, "|")
+				if level != "WARN" && level != "ERROR" {
+					dropped.Add(1)
+					continue
+				}
+				aggQ.Enqueue(event{level: level, msg: msg})
+			}
+		}()
+	}
+
+	// Stage 3: a single aggregator counts events per level.
+	counts := make(map[string]int)
+	var agg sync.WaitGroup
+	agg.Add(1)
+	go func() {
+		defer agg.Done()
+		for {
+			ev, ok := aggQ.Dequeue()
+			if !ok {
+				select {
+				case <-stage2Done:
+					if _, again := aggQ.Dequeue(); !again {
+						return
+					}
+				default:
+				}
+				continue
+			}
+			counts[ev.level]++
+		}
+	}()
+
+	gen.Wait()
+	close(genDone)
+	filt.Wait()
+	close(stage2Done)
+	agg.Wait()
+
+	fmt.Printf("processed %d lines: %d dropped, WARN=%d ERROR=%d\n",
+		lines, dropped.Load(), counts["WARN"], counts["ERROR"])
+	if got := dropped.Load() + int64(counts["WARN"]) + int64(counts["ERROR"]); got != lines {
+		fmt.Printf("CONSERVATION BROKEN: %d accounted, want %d\n", got, lines)
+	} else {
+		fmt.Println("every line accounted for exactly once")
+	}
+}

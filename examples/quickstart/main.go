@@ -1,0 +1,89 @@
+// Quickstart: the basic use of the Michael–Scott non-blocking queue from
+// the public API — many producers, many consumers, no locks — plus the
+// blocking wrapper for consumers that should sleep rather than poll.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"msqueue"
+)
+
+func main() {
+	lockFree()
+	blocking()
+}
+
+// lockFree shows the raw non-blocking queue: Dequeue never waits, it
+// reports ok=false when the queue is observed empty.
+func lockFree() {
+	q := msqueue.New[string]()
+
+	var producers sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		producers.Add(1)
+		go func(p int) {
+			defer producers.Done()
+			for i := 0; i < 3; i++ {
+				q.Enqueue(fmt.Sprintf("producer %d / message %d", p, i))
+			}
+		}(p)
+	}
+	producers.Wait()
+
+	count := 0
+	for {
+		_, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		count++
+	}
+	fmt.Printf("lock-free: drained %d messages\n", count)
+
+	// The two-lock queue has the same interface; pick it when you want the
+	// paper's blocking algorithm instead.
+	tl := msqueue.NewTwoLock[int]()
+	tl.Enqueue(42)
+	if v, ok := tl.Dequeue(); ok {
+		fmt.Println("two-lock queue says:", v)
+	}
+}
+
+// blocking shows the wrapper most applications want at the consumption
+// edge: DequeueWait parks until an item arrives, and Close drains cleanly.
+func blocking() {
+	q := msqueue.NewBlocking[int]()
+
+	var consumers sync.WaitGroup
+	var total sync.Map
+	for c := 0; c < 2; c++ {
+		consumers.Add(1)
+		go func(c int) {
+			defer consumers.Done()
+			n := 0
+			for {
+				_, ok := q.DequeueWait() // sleeps while empty
+				if !ok {
+					total.Store(c, n) // closed and drained
+					return
+				}
+				n++
+			}
+		}(c)
+	}
+
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i) // lock-free publish + wake one sleeper
+	}
+	q.Close()
+	consumers.Wait()
+
+	sum := 0
+	total.Range(func(_, v any) bool {
+		sum += v.(int)
+		return true
+	})
+	fmt.Printf("blocking: consumers received %d messages, then woke up on Close\n", sum)
+}

@@ -1,0 +1,3 @@
+module msqueue
+
+go 1.22

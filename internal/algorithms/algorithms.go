@@ -1,0 +1,266 @@
+// Package algorithms catalogs every queue implementation in this module
+// under the names used by the benchmark harness, the checkers and the CLI.
+// The catalog is an explicit table (no init-time self-registration), so the
+// full set of contenders is visible in one place and matches the legend of
+// the paper's figures.
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"msqueue/internal/baseline"
+	"msqueue/internal/core"
+	"msqueue/internal/flawed"
+	"msqueue/internal/hazard"
+	"msqueue/internal/locks"
+	"msqueue/internal/queue"
+)
+
+// Info describes one catalog entry.
+type Info struct {
+	// Name is the catalog key, e.g. "ms" or "two-lock".
+	Name string
+	// Display is the label used in tables and figures, matching the legends
+	// in the paper's figures where applicable.
+	Display string
+	// Progress is the liveness class from the paper's taxonomy.
+	Progress queue.Progress
+	// Linearizable is false only for the deliberately flawed comparator
+	// (Stone's queue), whose violation the checker is expected to find.
+	Linearizable bool
+	// InPaper marks the six algorithms measured in Figures 3–5.
+	InPaper bool
+	// New constructs a fresh empty queue of int values with capacity for at
+	// least cap concurrently live items. GC-based algorithms ignore cap.
+	New func(cap int) queue.Queue[int]
+}
+
+// catalog lists every algorithm. The first six entries are the paper's
+// contenders; the rest are ablations this reproduction adds.
+func catalog() []Info {
+	return []Info{
+		{
+			Name:         "single-lock",
+			Display:      "single lock",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			InPaper:      true,
+			New: func(int) queue.Queue[int] {
+				return baseline.NewSingleLock[int](new(locks.TTAS))
+			},
+		},
+		{
+			Name:         "mc",
+			Display:      "MC lock-free",
+			Progress:     queue.Blocking, // lock-free but blocking (section 1)
+			Linearizable: true,
+			InPaper:      true,
+			New: func(int) queue.Queue[int] {
+				return baseline.NewMC[int]()
+			},
+		},
+		{
+			Name:         "valois",
+			Display:      "Valois non-blocking",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			InPaper:      true,
+			New: func(cap int) queue.Queue[int] {
+				return uint64Adapter{q: baseline.NewValois(cap + 1)}
+			},
+		},
+		{
+			Name:         "two-lock",
+			Display:      "new two-lock",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			InPaper:      true,
+			New: func(int) queue.Queue[int] {
+				return core.NewTwoLock[int](new(locks.TTAS), new(locks.TTAS))
+			},
+		},
+		{
+			Name:         "plj",
+			Display:      "PLJ non-blocking",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			InPaper:      true,
+			New: func(int) queue.Queue[int] {
+				return baseline.NewPLJ[int]()
+			},
+		},
+		{
+			Name:         "ms",
+			Display:      "new non-blocking",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			InPaper:      true,
+			New: func(int) queue.Queue[int] {
+				return core.NewMS[int]()
+			},
+		},
+
+		// Ablations and extra comparators beyond the paper's six.
+		{
+			Name:         "ms-tagged",
+			Display:      "new non-blocking (tagged free list)",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			New: func(cap int) queue.Queue[int] {
+				return uint64Adapter{q: core.NewMSTagged(cap)}
+			},
+		},
+		{
+			Name:         "two-lock-tagged",
+			Display:      "new two-lock (tagged free list)",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			New: func(cap int) queue.Queue[int] {
+				return uint64Adapter{q: core.NewTwoLockTagged(cap, new(locks.TTAS), new(locks.TTAS))}
+			},
+		},
+		{
+			Name:         "ms-hazard",
+			Display:      "new non-blocking (hazard pointers)",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			New: func(cap int) queue.Queue[int] {
+				return uint64Adapter{q: hazard.New(cap)}
+			},
+		},
+		{
+			Name:         "single-lock-pure",
+			Display:      "single lock (pure spin, no yield)",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			New: func(int) queue.Queue[int] {
+				return baseline.NewSingleLock[int](new(locks.TTASPure))
+			},
+		},
+		{
+			Name:         "two-lock-pure",
+			Display:      "new two-lock (pure spin, no yield)",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			New: func(int) queue.Queue[int] {
+				return core.NewTwoLock[int](new(locks.TTASPure), new(locks.TTASPure))
+			},
+		},
+		{
+			Name:         "single-lock-mutex",
+			Display:      "single lock (runtime mutex)",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			New: func(int) queue.Queue[int] {
+				return baseline.NewSingleLock[int](&sync.Mutex{})
+			},
+		},
+		{
+			Name:         "two-lock-mutex",
+			Display:      "new two-lock (runtime mutex)",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			New: func(int) queue.Queue[int] {
+				return core.NewTwoLock[int](&sync.Mutex{}, &sync.Mutex{})
+			},
+		},
+		{
+			Name:         "universal",
+			Display:      "Herlihy-style universal construction",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			New: func(int) queue.Queue[int] {
+				return baseline.NewUniversal[int]()
+			},
+		},
+		{
+			Name:         "channel",
+			Display:      "Go buffered channel",
+			Progress:     queue.Blocking,
+			Linearizable: true,
+			New: func(cap int) queue.Queue[int] {
+				return channelQueue{ch: make(chan int, cap+1)}
+			},
+		},
+		{
+			Name:         "stone",
+			Display:      "Stone 1990 (flawed)",
+			Progress:     queue.Blocking,
+			Linearizable: false,
+			New: func(int) queue.Queue[int] {
+				return flawed.NewStone[int]()
+			},
+		},
+	}
+}
+
+// Lookup returns the catalog entry with the given name.
+func Lookup(name string) (Info, error) {
+	for _, info := range catalog() {
+		if info.Name == name {
+			return info, nil
+		}
+	}
+	return Info{}, fmt.Errorf("algorithms: unknown algorithm %q (have %v)", name, Names())
+}
+
+// All returns every catalog entry in catalog (paper) order.
+func All() []Info {
+	return catalog()
+}
+
+// Paper returns the six algorithms of the paper's figures, in legend order.
+func Paper() []Info {
+	var infos []Info
+	for _, info := range catalog() {
+		if info.InPaper {
+			infos = append(infos, info)
+		}
+	}
+	return infos
+}
+
+// Names returns all catalog names, sorted.
+func Names() []string {
+	infos := catalog()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// uint64Adapter presents a uint64-valued tagged queue as a Queue[int] for
+// the harness. Harness values are non-negative, so the conversion is exact.
+type uint64Adapter struct {
+	q queue.Queue[uint64]
+}
+
+func (a uint64Adapter) Enqueue(v int) { a.q.Enqueue(uint64(v)) }
+
+func (a uint64Adapter) Dequeue() (int, bool) {
+	v, ok := a.q.Dequeue()
+	return int(v), ok
+}
+
+// channelQueue adapts a buffered Go channel to the queue contract: an extra
+// comparator showing where the runtime's own queue lands. Enqueue blocks
+// when the buffer is full (capacities are sized so it does not in the
+// harness); Dequeue is non-blocking like the other algorithms.
+type channelQueue struct {
+	ch chan int
+}
+
+func (c channelQueue) Enqueue(v int) { c.ch <- v }
+
+func (c channelQueue) Dequeue() (int, bool) {
+	select {
+	case v := <-c.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,138 @@
+package algorithms
+
+import (
+	"strings"
+	"testing"
+
+	"msqueue/internal/queue"
+)
+
+func TestLookupKnown(t *testing.T) {
+	info, err := Lookup("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Display != "new non-blocking" || info.Progress != queue.NonBlocking || !info.InPaper {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("nope")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPaperHasSixContendersInLegendOrder(t *testing.T) {
+	paper := Paper()
+	if len(paper) != 6 {
+		t.Fatalf("Paper() has %d entries, want the figure's 6", len(paper))
+	}
+	// The legend order of Figure 3.
+	want := []string{"single-lock", "mc", "valois", "two-lock", "plj", "ms"}
+	for i, info := range paper {
+		if info.Name != want[i] {
+			t.Fatalf("Paper()[%d] = %q, want %q", i, info.Name, want[i])
+		}
+	}
+}
+
+func TestNamesSortedAndUnique(t *testing.T) {
+	names := Names()
+	seen := make(map[string]bool, len(names))
+	for i, n := range names {
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("names not sorted: %v", names)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestEveryEntryConstructsAWorkingQueue(t *testing.T) {
+	for _, info := range All() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			q := info.New(64)
+			if q == nil {
+				t.Fatal("New returned nil")
+			}
+			for i := 0; i < 10; i++ {
+				q.Enqueue(i)
+			}
+			for i := 0; i < 10; i++ {
+				v, ok := q.Dequeue()
+				if !ok || v != i {
+					t.Fatalf("Dequeue = %d,%v, want %d", v, ok, i)
+				}
+			}
+			if _, ok := q.Dequeue(); ok {
+				t.Fatal("queue not empty")
+			}
+		})
+	}
+}
+
+func TestTaxonomyMatchesPaper(t *testing.T) {
+	// Section 1's classification of each comparator.
+	want := map[string]queue.Progress{
+		"single-lock": queue.Blocking,
+		"two-lock":    queue.Blocking,
+		"mc":          queue.Blocking, // "lock-free but not non-blocking"
+		"valois":      queue.NonBlocking,
+		"plj":         queue.NonBlocking,
+		"ms":          queue.NonBlocking,
+	}
+	for name, progress := range want {
+		info, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Progress != progress {
+			t.Errorf("%s: progress = %v, want %v", name, info.Progress, progress)
+		}
+	}
+}
+
+func TestOnlyStoneIsNonLinearizable(t *testing.T) {
+	for _, info := range All() {
+		want := info.Name != "stone"
+		if info.Linearizable != want {
+			t.Errorf("%s: Linearizable = %v, want %v", info.Name, info.Linearizable, want)
+		}
+	}
+}
+
+func TestAdapterRoundTripsValues(t *testing.T) {
+	info, err := Lookup("ms-tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := info.New(8)
+	const big = 1 << 40
+	q.Enqueue(big)
+	if v, ok := q.Dequeue(); !ok || v != big {
+		t.Fatalf("Dequeue = %d,%v, want %d", v, ok, big)
+	}
+}
+
+func TestChannelAdapterEmptyDequeue(t *testing.T) {
+	info, err := Lookup("channel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := info.New(4)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty channel dequeue succeeded")
+	}
+	q.Enqueue(9)
+	if v, ok := q.Dequeue(); !ok || v != 9 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+}

@@ -1,0 +1,179 @@
+// Package arena provides fixed-capacity node arenas addressed by tagged
+// references: a 32-bit node index and a 32-bit modification counter packed
+// into a single uint64 that can be updated with one compare-and-swap.
+//
+// This is the paper's ABA defence realised exactly as it prescribes for
+// machines without a double-word compare_and_swap: "use array indices
+// instead of pointers, so that they may share a single word with a counter"
+// (section 1). Every successful CAS on a tagged word increments the counter,
+// so a location that has been changed from A to B and back to A is still
+// distinguishable from an unchanged one (up to counter wrap-around, which
+// the paper accepts as "extremely unlikely").
+//
+// The arena's free list is Treiber's non-blocking stack (section 2 of the
+// paper: "We use Treiber's simple and efficient non-blocking stack algorithm
+// to implement a non-blocking free list"), threaded through the same next
+// fields the queues use, so dequeued nodes are reused — demonstrating the
+// memory-reuse property that distinguishes the MS queue from Valois's.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"msqueue/internal/pad"
+)
+
+// NilRef is the tagged null reference with counter zero. Null references
+// carry counters too: the next field of the last node in a queue is null,
+// and its counter must still advance on every change (see line E9 of the
+// paper's pseudo-code, which installs <node, next.count+1>).
+const NilRef Ref = 0
+
+// Ref is a tagged reference: bits 0..31 hold index+1 (so that the zero Ref
+// is null), bits 32..63 hold the modification counter.
+type Ref uint64
+
+// Pack builds a Ref from a node index and a counter. Index -1 is null.
+func Pack(index int32, count uint32) Ref {
+	return Ref(uint64(uint32(index+1)) | uint64(count)<<32)
+}
+
+// IsNil reports whether r is a null reference (of any counter value).
+func (r Ref) IsNil() bool { return uint32(r) == 0 }
+
+// Index returns the node index, or -1 for a null reference.
+func (r Ref) Index() int32 { return int32(uint32(r)) - 1 }
+
+// Count returns the modification counter.
+func (r Ref) Count() uint32 { return uint32(r >> 32) }
+
+// Bumped returns a reference to the same node with the counter incremented;
+// used when re-publishing a word so its history remains distinguishable.
+func (r Ref) Bumped() Ref { return Pack(r.Index(), r.Count()+1) }
+
+// String formats a Ref for debugging and test failure messages.
+func (r Ref) String() string {
+	if r.IsNil() {
+		return fmt.Sprintf("<nil,%d>", r.Count())
+	}
+	return fmt.Sprintf("<%d,%d>", r.Index(), r.Count())
+}
+
+// Word is an atomically updatable tagged reference.
+type Word struct {
+	v atomic.Uint64
+}
+
+// Load returns the current reference.
+func (w *Word) Load() Ref { return Ref(w.v.Load()) }
+
+// Store unconditionally replaces the reference. It is used only during
+// single-threaded initialisation; concurrent updates must go through CAS.
+func (w *Word) Store(r Ref) { w.v.Store(uint64(r)) }
+
+// CAS replaces old with new if the word still holds old (index and counter
+// both), returning whether it did. Successful CASes in the queue algorithms
+// always install a reference whose counter is old.Count()+1.
+func (w *Word) CAS(old, new Ref) bool {
+	return w.v.CompareAndSwap(uint64(old), uint64(new))
+}
+
+// Node is an arena slot: a 64-bit value and a tagged next reference. The
+// value is atomic because the MS dequeue reads a node's value *before* the
+// CAS that claims it (line D11: "read value before CAS, otherwise another
+// dequeue might free the next node"); that read may race with reuse, and the
+// algorithm discards it when the CAS fails.
+type Node struct {
+	Value atomic.Uint64
+	Next  Word
+	// refct is Valois's per-node reference counter; unused (zero) by the
+	// other algorithms. See internal/baseline/valois.go.
+	refct atomic.Int64
+}
+
+// Refct exposes the Valois reference counter of the node.
+func (n *Node) Refct() *atomic.Int64 { return &n.refct }
+
+// Arena is a fixed set of nodes plus a Treiber-stack free list.
+type Arena struct {
+	nodes []Node
+
+	_   pad.Line
+	top Word // free-list top, isolated on its own cache line
+	_   pad.Line
+
+	allocs atomic.Int64 // successful Allocs, for occupancy accounting
+	frees  atomic.Int64
+}
+
+// New creates an arena with the given capacity, all nodes on the free list.
+// Capacity must be in [1, 1<<31-1].
+func New(capacity int) *Arena {
+	if capacity < 1 || capacity >= 1<<31 {
+		panic(fmt.Sprintf("arena: capacity %d out of range", capacity))
+	}
+	a := &Arena{nodes: make([]Node, capacity)}
+	// Thread the initial free list through the next fields: node i links to
+	// node i+1, the last node links to null.
+	for i := 0; i < capacity-1; i++ {
+		a.nodes[i].Next.Store(Pack(int32(i+1), 0))
+	}
+	a.nodes[capacity-1].Next.Store(NilRef)
+	a.top.Store(Pack(0, 0))
+	return a
+}
+
+// Cap returns the total number of nodes.
+func (a *Arena) Cap() int { return len(a.nodes) }
+
+// InUse returns the number of nodes currently allocated.
+func (a *Arena) InUse() int { return int(a.allocs.Load() - a.frees.Load()) }
+
+// Get resolves a tagged reference to its node. It panics on a null
+// reference: callers must check IsNil first, exactly as the pseudo-code
+// checks "next.ptr == NULL".
+func (a *Arena) Get(r Ref) *Node {
+	return &a.nodes[r.Index()]
+}
+
+// Alloc pops a node from the free list (Treiber pop). It returns false when
+// the arena is exhausted. The returned node's Next field holds a null
+// reference whose counter continues the node's history.
+func (a *Arena) Alloc() (Ref, bool) {
+	for {
+		top := a.top.Load()
+		if top.IsNil() {
+			return NilRef, false
+		}
+		n := a.Get(top)
+		next := n.Next.Load()
+		// The counter on top makes this pop immune to the classic Treiber
+		// ABA: if the node was popped, reused and pushed back since we read
+		// top, the counter differs and the CAS fails.
+		if a.top.CAS(top, Pack(next.Index(), top.Count()+1)) {
+			// Reset the link for the queue algorithms ("node->next.ptr =
+			// NULL"), advancing its counter so the word's history continues.
+			n.Next.Store(Pack(-1, next.Count()+1))
+			a.allocs.Add(1)
+			return Pack(top.Index(), top.Count()), true
+		}
+	}
+}
+
+// Free pushes a node back onto the free list (Treiber push). The node must
+// have been returned by Alloc and must no longer be reachable from any
+// queue structure (the MS dequeue guarantees this by keeping Tail ahead of
+// Head).
+func (a *Arena) Free(r Ref) {
+	n := a.Get(r)
+	for {
+		top := a.top.Load()
+		old := n.Next.Load()
+		n.Next.Store(Pack(top.Index(), old.Count()+1))
+		if a.top.CAS(top, Pack(r.Index(), top.Count()+1)) {
+			a.frees.Add(1)
+			return
+		}
+	}
+}

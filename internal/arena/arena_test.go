@@ -1,0 +1,303 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	tests := []struct {
+		index int32
+		count uint32
+	}{
+		{index: -1, count: 0},
+		{index: -1, count: 7},
+		{index: 0, count: 0},
+		{index: 0, count: 1},
+		{index: 41, count: 1 << 31},
+		{index: 1<<31 - 2, count: 1<<32 - 1},
+	}
+	for _, tt := range tests {
+		r := Pack(tt.index, tt.count)
+		if got := r.Index(); got != tt.index {
+			t.Errorf("Pack(%d,%d).Index() = %d", tt.index, tt.count, got)
+		}
+		if got := r.Count(); got != tt.count {
+			t.Errorf("Pack(%d,%d).Count() = %d", tt.index, tt.count, got)
+		}
+		if got, want := r.IsNil(), tt.index == -1; got != want {
+			t.Errorf("Pack(%d,%d).IsNil() = %v, want %v", tt.index, tt.count, got, want)
+		}
+	}
+}
+
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(index int32, count uint32) bool {
+		if index < -1 {
+			index = -1 - index // fold into valid range
+		}
+		if index == 1<<31-1 {
+			index-- // index+1 must fit in uint32 distinctly from nil
+		}
+		r := Pack(index, count)
+		return r.Index() == index && r.Count() == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRef(t *testing.T) {
+	if !NilRef.IsNil() {
+		t.Fatal("NilRef.IsNil() = false")
+	}
+	if got := NilRef.Index(); got != -1 {
+		t.Fatalf("NilRef.Index() = %d, want -1", got)
+	}
+	if s := NilRef.String(); s != "<nil,0>" {
+		t.Fatalf("NilRef.String() = %q", s)
+	}
+	if s := Pack(3, 9).String(); s != "<3,9>" {
+		t.Fatalf("Pack(3,9).String() = %q", s)
+	}
+}
+
+func TestBumpedPreservesIndex(t *testing.T) {
+	r := Pack(12, 99)
+	b := r.Bumped()
+	if b.Index() != 12 || b.Count() != 100 {
+		t.Fatalf("Bumped() = %v", b)
+	}
+	// Counter wrap-around is defined (uint32 arithmetic).
+	w := Pack(5, 1<<32-1).Bumped()
+	if w.Count() != 0 || w.Index() != 5 {
+		t.Fatalf("wrapped Bumped() = %v", w)
+	}
+}
+
+func TestNewCapacityValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 1 << 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestAllocUntilExhausted(t *testing.T) {
+	const cap = 10
+	a := New(cap)
+	seen := make(map[int32]bool, cap)
+	for i := 0; i < cap; i++ {
+		r, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("Alloc %d failed with %d nodes", i, cap)
+		}
+		if seen[r.Index()] {
+			t.Fatalf("Alloc returned index %d twice", r.Index())
+		}
+		seen[r.Index()] = true
+		if next := a.Get(r).Next.Load(); !next.IsNil() {
+			t.Fatalf("allocated node %v has non-nil next %v", r, next)
+		}
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("Alloc succeeded on an exhausted arena")
+	}
+	if got := a.InUse(); got != cap {
+		t.Fatalf("InUse = %d, want %d", got, cap)
+	}
+}
+
+func TestFreeMakesNodesReusable(t *testing.T) {
+	a := New(3)
+	refs := make([]Ref, 3)
+	for i := range refs {
+		r, ok := a.Alloc()
+		if !ok {
+			t.Fatal("Alloc failed")
+		}
+		refs[i] = r
+	}
+	for _, r := range refs {
+		a.Free(r)
+	}
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("InUse after freeing all = %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := a.Alloc(); !ok {
+			t.Fatalf("Alloc %d failed after free", i)
+		}
+	}
+}
+
+func TestCountersAdvanceAcrossReuse(t *testing.T) {
+	// The ABA defence: reallocating a node must not let any word it was
+	// reachable from return to a previously observed (index, count) pair.
+	a := New(1)
+	r1, _ := a.Alloc()
+	firstNext := a.Get(r1).Next.Load()
+	a.Free(r1)
+	r2, _ := a.Alloc()
+	if r2.Index() != r1.Index() {
+		t.Fatalf("expected the single node back, got %v then %v", r1, r2)
+	}
+	secondNext := a.Get(r2).Next.Load()
+	if !secondNext.IsNil() {
+		t.Fatalf("reallocated node's next = %v, want nil", secondNext)
+	}
+	if secondNext.Count() <= firstNext.Count() {
+		t.Fatalf("next counter did not advance across reuse: %v then %v", firstNext, secondNext)
+	}
+}
+
+func TestStaleTopCASFails(t *testing.T) {
+	// A Treiber pop with a stale top must fail even when the same node is
+	// back on top of the free list (the counter distinguishes incarnations).
+	a := New(2)
+	stale := a.top.Load()
+	r, _ := a.Alloc()
+	a.Free(r)
+	// The same node index may be on top again, but the count has moved on.
+	if a.top.CAS(stale, Pack(-1, stale.Count()+1)) {
+		t.Fatal("CAS with a stale tagged top succeeded")
+	}
+}
+
+func TestConcurrentAllocFreeConservation(t *testing.T) {
+	const (
+		capacity = 128
+		workers  = 8
+		rounds   = 2000
+	)
+	a := New(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			held := make([]Ref, 0, 4)
+			for i := 0; i < rounds; i++ {
+				if r, ok := a.Alloc(); ok {
+					a.Get(r).Value.Store(uint64(id)<<32 | uint64(i))
+					held = append(held, r)
+				}
+				if len(held) > 3 {
+					r := held[0]
+					held = held[1:]
+					a.Free(r)
+				}
+			}
+			for _, r := range held {
+				a.Free(r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("InUse after quiescence = %d, want 0", got)
+	}
+	// Every node must be allocatable again exactly once.
+	for i := 0; i < capacity; i++ {
+		if _, ok := a.Alloc(); !ok {
+			t.Fatalf("free list lost nodes: only %d of %d allocatable", i, capacity)
+		}
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("free list gained nodes: extra Alloc succeeded")
+	}
+}
+
+func TestConcurrentAllocsAreDistinct(t *testing.T) {
+	const (
+		capacity = 64
+		workers  = 8
+	)
+	a := New(capacity)
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		got = make(map[int32]int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []Ref
+			for {
+				r, ok := a.Alloc()
+				if !ok {
+					break
+				}
+				mine = append(mine, r)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range mine {
+				got[r.Index()]++
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != capacity {
+		t.Fatalf("allocated %d distinct nodes, want %d", len(got), capacity)
+	}
+	for idx, n := range got {
+		if n != 1 {
+			t.Fatalf("node %d allocated %d times", idx, n)
+		}
+	}
+}
+
+func TestWordCAS(t *testing.T) {
+	var w Word
+	w.Store(Pack(3, 7))
+	if w.CAS(Pack(3, 8), Pack(4, 8)) {
+		t.Fatal("CAS succeeded with a mismatched counter")
+	}
+	if w.CAS(Pack(4, 7), Pack(4, 8)) {
+		t.Fatal("CAS succeeded with a mismatched index")
+	}
+	if !w.CAS(Pack(3, 7), Pack(4, 8)) {
+		t.Fatal("CAS failed with an exact match")
+	}
+	if got := w.Load(); got != Pack(4, 8) {
+		t.Fatalf("Load = %v after CAS", got)
+	}
+}
+
+func TestGetPanicsOnNil(t *testing.T) {
+	a := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(NilRef) did not panic")
+		}
+	}()
+	a.Get(NilRef)
+}
+
+func TestInUseAccounting(t *testing.T) {
+	a := New(4)
+	if a.InUse() != 0 {
+		t.Fatalf("fresh InUse = %d", a.InUse())
+	}
+	r1, _ := a.Alloc()
+	r2, _ := a.Alloc()
+	if a.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", a.InUse())
+	}
+	a.Free(r1)
+	if a.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", a.InUse())
+	}
+	a.Free(r2)
+	if a.InUse() != 0 || a.Cap() != 4 {
+		t.Fatalf("InUse = %d Cap = %d", a.InUse(), a.Cap())
+	}
+}

@@ -1,0 +1,123 @@
+// Package backoff implements the bounded exponential backoff used by the
+// paper's lock-based algorithms ("test-and-test_and_set locks with bounded
+// exponential backoff") and, where appropriate, by the non-blocking
+// algorithms after a failed compare-and-swap.
+//
+// The paper notes that performance was not sensitive to the exact choice of
+// backoff parameters for workloads that do a modest amount of other work
+// between queue operations; the defaults here follow Anderson [1] and
+// Mellor-Crummey & Scott [12].
+package backoff
+
+import (
+	"math/rand"
+	"runtime"
+)
+
+const (
+	// DefaultMinSpins is the initial busy-wait bound after the first failure.
+	DefaultMinSpins = 4
+	// DefaultMaxSpins bounds the exponential growth of the busy-wait.
+	DefaultMaxSpins = 1 << 10
+	// yieldThreshold is the number of consecutive failures after which the
+	// backoff starts yielding the processor in addition to spinning. On a
+	// multiprogrammed system (more processes than processors) pure spinning
+	// can wait out an entire scheduling quantum; yielding emulates the
+	// "preemption-safe" behaviour the paper argues for and keeps spin locks
+	// usable when GOMAXPROCS < number of workers.
+	yieldThreshold = 8
+)
+
+// Backoff is a bounded exponential backoff. The zero value is ready to use
+// with the default bounds. Backoff is not safe for concurrent use; each
+// process (goroutine) keeps its own.
+type Backoff struct {
+	// Min and Max override DefaultMinSpins/DefaultMaxSpins when nonzero.
+	Min, Max int
+
+	limit    int
+	failures int
+	rng      uint64 // xorshift state; lazily seeded
+}
+
+// Wait records one more failure (a lost CAS or an observed-held lock) and
+// busy-waits for a randomized interval that doubles, up to the bound, with
+// each consecutive failure. After several consecutive failures it also
+// yields the processor so that a preempted lock holder can run.
+func (b *Backoff) Wait() {
+	b.wait()
+	if b.failures >= yieldThreshold {
+		runtime.Gosched()
+	}
+}
+
+// WaitNoYield is Wait without the scheduler yield: the exact behaviour of
+// the paper's backoff on the SGI Challenge, where spinning processes could
+// not donate their quantum. Use only when reproducing the multiprogrammed
+// degradation; a pure spin on an oversubscribed Go runtime can waste whole
+// scheduling quanta.
+func (b *Backoff) WaitNoYield() {
+	b.wait()
+}
+
+func (b *Backoff) wait() {
+	if b.limit == 0 {
+		b.limit = b.min()
+		// Seed the per-process generator once; the global rand is only used
+		// for seeding so the hot path stays allocation- and lock-free.
+		b.rng = rand.Uint64() | 1
+	}
+	spins := int(b.next() % uint64(b.limit))
+	for i := 0; i < spins; i++ {
+		cpuRelax()
+	}
+	if b.limit < b.max() {
+		b.limit *= 2
+	}
+	b.failures++
+}
+
+// Reset clears the failure history after a successful operation, restoring
+// the initial (minimum) backoff interval.
+func (b *Backoff) Reset() {
+	b.limit = 0
+	b.failures = 0
+}
+
+// Failures reports the number of consecutive failures since the last Reset.
+func (b *Backoff) Failures() int { return b.failures }
+
+func (b *Backoff) min() int {
+	if b.Min > 0 {
+		return b.Min
+	}
+	return DefaultMinSpins
+}
+
+func (b *Backoff) max() int {
+	m := DefaultMaxSpins
+	if b.Max > 0 {
+		m = b.Max
+	}
+	if min := b.min(); m < min {
+		m = min
+	}
+	return m
+}
+
+// next advances the per-process xorshift64 generator. Randomizing the spin
+// count de-correlates competing processes so they do not retry in lockstep.
+func (b *Backoff) next() uint64 {
+	x := b.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	b.rng = x
+	return x
+}
+
+//go:noinline
+func cpuRelax() {
+	// A call that the compiler cannot eliminate; stands in for the PAUSE
+	// hint. The function-call overhead itself provides the short delay.
+}

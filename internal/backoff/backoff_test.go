@@ -1,0 +1,97 @@
+package backoff
+
+import "testing"
+
+func TestZeroValueIsUsable(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 100; i++ {
+		b.Wait()
+	}
+	if got := b.Failures(); got != 100 {
+		t.Fatalf("Failures = %d, want 100", got)
+	}
+}
+
+func TestLimitGrowthIsBounded(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 64; i++ {
+		b.Wait()
+	}
+	if b.limit > DefaultMaxSpins {
+		t.Fatalf("limit grew to %d, beyond DefaultMaxSpins %d", b.limit, DefaultMaxSpins)
+	}
+	if b.limit < DefaultMaxSpins {
+		t.Fatalf("limit %d did not reach DefaultMaxSpins %d after 64 failures", b.limit, DefaultMaxSpins)
+	}
+}
+
+func TestLimitDoubles(t *testing.T) {
+	var b Backoff
+	b.Wait()
+	first := b.limit
+	if first != 2*DefaultMinSpins {
+		t.Fatalf("limit after first Wait = %d, want %d", first, 2*DefaultMinSpins)
+	}
+	b.Wait()
+	if b.limit != 2*first {
+		t.Fatalf("limit after second Wait = %d, want %d", b.limit, 2*first)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 10; i++ {
+		b.Wait()
+	}
+	b.Reset()
+	if b.Failures() != 0 {
+		t.Fatalf("Failures after Reset = %d, want 0", b.Failures())
+	}
+	b.Wait()
+	if b.limit != 2*DefaultMinSpins {
+		t.Fatalf("limit after Reset+Wait = %d, want %d (growth restarted)", b.limit, 2*DefaultMinSpins)
+	}
+}
+
+func TestCustomBounds(t *testing.T) {
+	b := Backoff{Min: 16, Max: 32}
+	b.Wait()
+	if b.limit != 32 {
+		t.Fatalf("limit = %d, want 32", b.limit)
+	}
+	for i := 0; i < 10; i++ {
+		b.Wait()
+	}
+	if b.limit != 32 {
+		t.Fatalf("limit = %d, want capped at 32", b.limit)
+	}
+}
+
+func TestMaxBelowMinIsClamped(t *testing.T) {
+	b := Backoff{Min: 64, Max: 2}
+	for i := 0; i < 10; i++ {
+		b.Wait()
+	}
+	if b.limit > 64 {
+		t.Fatalf("limit = %d, want clamped to Min 64", b.limit)
+	}
+}
+
+func TestRandomizationDecorrelates(t *testing.T) {
+	// Two backoffs seeded independently should not produce identical spin
+	// sequences; we can only observe the generator indirectly, so check the
+	// internal xorshift states diverge.
+	var a, b Backoff
+	a.Wait()
+	b.Wait()
+	if a.rng == b.rng {
+		t.Skip("identical seeds drawn; astronomically unlikely but not an error")
+	}
+	for i := 0; i < 8; i++ {
+		a.Wait()
+		b.Wait()
+	}
+	if a.rng == b.rng {
+		t.Fatal("two independently seeded backoffs track identical states")
+	}
+}

@@ -1,0 +1,13 @@
+package baseline
+
+import "msqueue/internal/queue"
+
+// Compile-time checks that the comparators satisfy the queue contracts.
+var (
+	_ queue.Queue[int]      = (*SingleLock[int])(nil)
+	_ queue.Queue[int]      = (*MC[int])(nil)
+	_ queue.Queue[int]      = (*PLJ[int])(nil)
+	_ queue.Queue[int]      = (*Universal[int])(nil)
+	_ queue.Bounded[uint64] = (*Valois)(nil)
+	_ queue.Bounded[int]    = (*Lamport[int])(nil)
+)

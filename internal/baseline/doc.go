@@ -1,0 +1,18 @@
+// Package baseline implements the comparator algorithms of the paper's
+// performance study (section 4):
+//
+//   - SingleLock: the straightforward one-lock queue;
+//   - MC: Mellor-Crummey's lock-free but blocking queue [11], built on a
+//     fetch_and_store-then-link sequence;
+//   - PLJ: the Prakash–Lee–Johnson linearizable non-blocking queue [14,16],
+//     which snapshots two shared variables before every update and helps
+//     delayed peers;
+//   - Valois: Valois's non-blocking queue [23,24] with the reference-counting
+//     memory manager, including the corrections of Michael & Scott's TR 599,
+//     over a bounded node arena — reproducing both its performance profile
+//     and its unbounded-memory pathology.
+//
+// MC and PLJ are reconstructions from the structure this paper attributes
+// to them (the original sources are not reproduced here); DESIGN.md section
+// 7 records exactly which properties the reconstructions preserve.
+package baseline

@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"sync/atomic"
+
+	"msqueue/internal/pad"
+)
+
+// Lamport is Lamport's wait-free circular-buffer queue [9], the algorithm
+// the paper cites as the classic alternative that "restricts concurrency to
+// a single enqueuer and a single dequeuer". Within that restriction it is
+// wait-free — every operation completes in a bounded number of steps with
+// no retries at all — which is a strictly stronger progress guarantee than
+// the MS queue's, bought by giving up multi-producer/multi-consumer
+// operation. It earns its place in the catalog as the lower bound on what
+// synchronisation can cost when the concurrency pattern allows it.
+//
+// The implementation is the textbook one: a power-of-two ring with a head
+// index owned by the consumer and a tail index owned by the producer; each
+// side only reads the other's index, so a single atomic load/store pair per
+// operation suffices.
+type Lamport[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    pad.Line
+	head atomic.Uint64 // next slot to dequeue; written only by the consumer
+	_    pad.Line
+	tail atomic.Uint64 // next slot to enqueue; written only by the producer
+	_    pad.Line
+}
+
+// NewLamport returns an empty queue able to hold capacity items; capacity
+// is rounded up to a power of two and is at least 2.
+func NewLamport[T any](capacity int) *Lamport[T] {
+	size := 2
+	for size < capacity {
+		size *= 2
+	}
+	return &Lamport[T]{buf: make([]T, size), mask: uint64(size - 1)}
+}
+
+// Cap returns the number of items the queue can hold.
+func (q *Lamport[T]) Cap() int { return len(q.buf) }
+
+// TryEnqueue appends v, reporting false when the ring is full. It must be
+// called from at most one goroutine at a time (the single producer).
+func (q *Lamport[T]) TryEnqueue(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1) // release: publishes the slot to the consumer
+	return true
+}
+
+// Enqueue appends v, spinning while the ring is full.
+func (q *Lamport[T]) Enqueue(v T) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// Dequeue removes and returns the head item, reporting false when empty.
+// It must be called from at most one goroutine at a time (the single
+// consumer).
+func (q *Lamport[T]) Dequeue() (T, bool) {
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		var zero T
+		return zero, false
+	}
+	v := q.buf[head&q.mask]
+	var zero T
+	q.buf[head&q.mask] = zero // drop the reference for the GC
+	q.head.Store(head + 1)    // release: returns the slot to the producer
+	return v, true
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"msqueue/internal/inject"
+	"msqueue/internal/pad"
+)
+
+// Trace points exposed by MC for fault-injection tests.
+const (
+	// PointMCAfterSwap is the instant between an enqueuer's fetch_and_store
+	// on Tail and the store that links its node to the predecessor — the
+	// window in which a delayed enqueuer blocks every dequeuer.
+	PointMCAfterSwap inject.Point = "MC:after-swap-before-link"
+)
+
+// MC is the Mellor-Crummey-style queue [11]: lock-free (it uses no locks)
+// but *blocking*. Its enqueue is a fetch_and_store-modify sequence rather
+// than the read-modify-compare_and_swap of the MS queue:
+//
+//	prev := FETCH_AND_STORE(&Tail, node)   // claim position, atomically
+//	prev.next = node                       // link — plain store, cannot fail
+//
+// Because the swap unconditionally succeeds, no ABA precautions are needed
+// and enqueues never retry — the property the paper credits to the
+// algorithm. The price is the window between the swap and the link: a
+// process delayed there leaves the list disconnected, and every dequeuer
+// that drains up to the gap must wait. That is what makes the algorithm
+// blocking, and why it degenerates under multiprogramming (Figures 4, 5).
+type MC[T any] struct {
+	head atomic.Pointer[mcNode[T]]
+	_    pad.Line
+	tail atomic.Pointer[mcNode[T]]
+	_    pad.Line
+
+	tr inject.Tracer
+}
+
+type mcNode[T any] struct {
+	value T
+	next  atomic.Pointer[mcNode[T]]
+}
+
+// NewMC returns an empty queue with a dummy node.
+func NewMC[T any]() *MC[T] {
+	q := &MC[T]{}
+	dummy := &mcNode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before the
+// queue is shared between goroutines.
+func (q *MC[T]) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// Enqueue appends v. It contains no loop at all: the swap always succeeds.
+func (q *MC[T]) Enqueue(v T) {
+	n := &mcNode[T]{value: v}
+	prev := q.tail.Swap(n) // fetch_and_store: claim the tail position
+	if q.tr != nil {
+		q.tr.At(PointMCAfterSwap)
+	}
+	prev.next.Store(n) // link; until this lands, dequeuers past prev stall
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+// It waits (blocking) when it observes a claimed-but-unlinked suffix.
+func (q *MC[T]) Dequeue() (T, bool) {
+	fails := 0
+	for {
+		head := q.head.Load()
+		next := head.next.Load()
+		if next == nil {
+			if q.tail.Load() == head {
+				// No one has swapped past head: the queue is empty. The
+				// emptiness is linearized at the Tail read: an enqueuer
+				// must swap Tail before it can link, so Tail == head means
+				// no link to head can have landed since we read next.
+				var zero T
+				return zero, false
+			}
+			// An enqueuer has claimed a position after head but has not yet
+			// linked its node. Nothing to do but wait for it — this is the
+			// blocking behaviour that distinguishes MC from the MS queue.
+			fails++
+			if fails%mcSpinYieldEvery == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			return v, true
+		}
+	}
+}
+
+const mcSpinYieldEvery = 32

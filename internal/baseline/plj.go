@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"sync/atomic"
+
+	"msqueue/internal/inject"
+	"msqueue/internal/pad"
+)
+
+// Trace points exposed by PLJ for fault-injection tests.
+const (
+	// PointPLJAfterLink is the instant between an enqueuer's successful
+	// link CAS and its Tail swing — the half-finished state that faster
+	// processes complete on the slow enqueuer's behalf.
+	PointPLJAfterLink inject.Point = "PLJ:after-link-before-swing"
+	// PointPLJSnapshot fires after a consistent snapshot has been taken.
+	PointPLJSnapshot inject.Point = "PLJ:snapshot-taken"
+)
+
+// PLJ is the Prakash–Lee–Johnson queue [14,16]: linearizable and
+// non-blocking, like the MS queue, but with the two costs the paper calls
+// out when motivating its own design:
+//
+//   - every operation first takes a *snapshot* of the queue state —
+//     consistent values of two shared variables (Head and Tail) plus the
+//     tail's successor — by re-reading until both are stable, where the MS
+//     queue "need[s] to check only one shared variable rather than two";
+//   - faster processes complete the operations of slower ones (here: a
+//     half-finished enqueue is visible as Tail->next != nil, and any process
+//     finishes it by swinging Tail before proceeding), which is how the
+//     algorithm achieves the non-blocking property.
+//
+// This is a structural reconstruction from the description in the MS paper;
+// it preserves exactly the properties the performance comparison exercises
+// (linearizability, non-blocking progress, snapshot overhead, helping).
+type PLJ[T any] struct {
+	head atomic.Pointer[pljNode[T]]
+	_    pad.Line
+	tail atomic.Pointer[pljNode[T]]
+	_    pad.Line
+
+	tr inject.Tracer
+}
+
+type pljNode[T any] struct {
+	value T
+	next  atomic.Pointer[pljNode[T]]
+}
+
+// NewPLJ returns an empty queue.
+func NewPLJ[T any]() *PLJ[T] {
+	q := &PLJ[T]{}
+	dummy := &pljNode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before
+// the queue is shared between goroutines.
+func (q *PLJ[T]) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// snapshot returns mutually consistent values of Head, Tail and Tail->next:
+// both shared variables are re-read until neither changed while the other
+// was being examined.
+func (q *PLJ[T]) snapshot() (head, tail, tailNext *pljNode[T]) {
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		n := t.next.Load()
+		if h == q.head.Load() && t == q.tail.Load() {
+			if q.tr != nil {
+				q.tr.At(PointPLJSnapshot)
+			}
+			return h, t, n
+		}
+	}
+}
+
+// Enqueue appends v to the tail of the queue.
+func (q *PLJ[T]) Enqueue(v T) {
+	n := &pljNode[T]{value: v}
+	for {
+		_, tail, tailNext := q.snapshot()
+		if tailNext != nil {
+			// A slower enqueuer has linked its node but not yet swung Tail:
+			// complete its operation before attempting our own.
+			q.tail.CompareAndSwap(tail, tailNext)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			if q.tr != nil {
+				q.tr.At(PointPLJAfterLink)
+			}
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (q *PLJ[T]) Dequeue() (T, bool) {
+	for {
+		head, tail, tailNext := q.snapshot()
+		if head == tail {
+			if tailNext == nil { // stable snapshot of an empty queue
+				var zero T
+				return zero, false
+			}
+			// Help the slow enqueuer, then reassess the state.
+			q.tail.CompareAndSwap(tail, tailNext)
+			continue
+		}
+		next := head.next.Load()
+		if next == nil {
+			// Head moved between the snapshot and this read; the snapshot
+			// is stale, take a new one.
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			return v, true
+		}
+	}
+}

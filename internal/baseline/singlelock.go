@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"sync"
+
+	"msqueue/internal/pad"
+)
+
+// SingleLock is the straightforward single-lock queue the paper uses as its
+// first comparator: one lock serialises every operation. For queues
+// accessed by only one or two processors the paper finds it runs "a little
+// faster" than the two-lock queue (one lock acquisition, no second lock's
+// cache line); under contention it is the worst performer.
+type SingleLock[T any] struct {
+	lock sync.Locker
+	_    pad.Line
+
+	head *slNode[T] // dummy; both fields protected by lock
+	tail *slNode[T]
+}
+
+type slNode[T any] struct {
+	value T
+	next  *slNode[T]
+}
+
+// NewSingleLock returns an empty queue protected by the given lock; nil
+// selects a sync.Mutex.
+func NewSingleLock[T any](lock sync.Locker) *SingleLock[T] {
+	if lock == nil {
+		lock = &sync.Mutex{}
+	}
+	dummy := &slNode[T]{}
+	return &SingleLock[T]{lock: lock, head: dummy, tail: dummy}
+}
+
+// Enqueue appends v to the tail of the queue.
+func (q *SingleLock[T]) Enqueue(v T) {
+	n := &slNode[T]{value: v}
+	q.lock.Lock()
+	q.tail.next = n
+	q.tail = n
+	q.lock.Unlock()
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (q *SingleLock[T]) Dequeue() (T, bool) {
+	q.lock.Lock()
+	newHead := q.head.next
+	if newHead == nil {
+		q.lock.Unlock()
+		var zero T
+		return zero, false
+	}
+	v := newHead.value
+	q.head = newHead
+	q.lock.Unlock()
+	return v, true
+}

@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"sync/atomic"
+
+	"msqueue/internal/backoff"
+	"msqueue/internal/persistent"
+)
+
+// Universal is a queue obtained from a *general methodology* rather than a
+// specialised algorithm: the whole abstract state lives behind one atomic
+// pointer to an immutable (persistent) queue value, and every operation is
+// "compute the successor state functionally, then compare_and_swap the
+// root". This is the small-object variant of Herlihy's construction [6],
+// which the paper lists among the approaches whose "resulting
+// implementations are generally inefficient compared to specialized
+// algorithms" (section 1) — the claim BenchmarkQueues quantifies.
+//
+// Properties: linearizable (the root CAS is the linearization point) and
+// lock-free (a failed CAS means another operation's CAS succeeded). It is
+// not wait-free; Herlihy's full construction adds announce/help machinery
+// to bound every process's retries, at even higher constant cost.
+//
+// Why it is slow compared to the MS queue:
+//
+//   - every operation, including dequeue on a long queue, may copy O(n)
+//     state at the persistent queue's reversal step, and a conflicting CAS
+//     discards that work wholesale;
+//   - enqueuers and dequeuers serialise on one word, where the MS queue
+//     lets them proceed on disjoint words (Head vs Tail).
+type Universal[T any] struct {
+	state atomic.Pointer[persistent.Queue[T]]
+}
+
+// NewUniversal returns an empty queue.
+func NewUniversal[T any]() *Universal[T] {
+	u := &Universal[T]{}
+	u.state.Store(persistent.Empty[T]())
+	return u
+}
+
+// Enqueue appends v to the tail of the queue.
+func (u *Universal[T]) Enqueue(v T) {
+	var bo backoff.Backoff
+	for {
+		old := u.state.Load()
+		if u.state.CompareAndSwap(old, old.Enqueue(v)) {
+			return
+		}
+		bo.Wait()
+	}
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (u *Universal[T]) Dequeue() (T, bool) {
+	var bo backoff.Backoff
+	for {
+		old := u.state.Load()
+		v, rest, ok := old.Dequeue()
+		if !ok {
+			var zero T
+			return zero, false
+		}
+		if u.state.CompareAndSwap(old, rest) {
+			return v, true
+		}
+		bo.Wait()
+	}
+}
+
+// Len reports the queue length at some instant during the call.
+func (u *Universal[T]) Len() int {
+	return u.state.Load().Len()
+}

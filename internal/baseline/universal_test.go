@@ -1,0 +1,83 @@
+package baseline_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/baseline"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+func TestUniversalConformance(t *testing.T) {
+	queuetest.Run(t, func(int) queue.Queue[int] {
+		return baseline.NewUniversal[int]()
+	}, queuetest.Options{})
+}
+
+func TestUniversalLen(t *testing.T) {
+	u := baseline.NewUniversal[int]()
+	if u.Len() != 0 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	for i := 0; i < 5; i++ {
+		u.Enqueue(i)
+	}
+	if u.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", u.Len())
+	}
+	u.Dequeue()
+	if u.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", u.Len())
+	}
+}
+
+// TestUniversalRetriesPreserveValues drives heavy CAS contention on the
+// single root pointer: all the functional-state recomputation and retrying
+// must never lose or duplicate a value.
+func TestUniversalRetriesPreserveValues(t *testing.T) {
+	u := baseline.NewUniversal[int]()
+	const (
+		procs   = 8
+		perProc = 2000
+	)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen = make(map[int]int, procs*perProc)
+	)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			local := make(map[int]int)
+			for i := 0; i < perProc; i++ {
+				u.Enqueue(p*perProc + i)
+				if v, ok := u.Dequeue(); ok {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for k, n := range local {
+				seen[k] += n
+			}
+		}(p)
+	}
+	wg.Wait()
+	for {
+		v, ok := u.Dequeue()
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), procs*perProc)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+}

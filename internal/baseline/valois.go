@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"sync/atomic"
+
+	"msqueue/internal/arena"
+	"msqueue/internal/inject"
+	"msqueue/internal/pad"
+)
+
+// Trace points exposed by Valois for fault-injection tests.
+const (
+	// PointValoisHoldingRef is the instant in a dequeue at which the process
+	// holds a counted reference to the current head. A process stalled here
+	// pins that node — and, transitively through the link references, every
+	// node enqueued afterwards — which is the unbounded-memory pathology the
+	// paper demonstrates ("we ran out of memory several times ... using a
+	// free list initialized with 64,000 nodes", section 1).
+	PointValoisHoldingRef inject.Point = "V:holding-head-ref"
+)
+
+// Valois is Valois's non-blocking queue [23,24] with his reference-counting
+// memory manager, incorporating the corrections Michael & Scott published
+// as TR 599 [13]. It runs over a bounded arena whose free list is a tagged
+// Treiber stack, like the original's preallocated free list.
+//
+// Differences from the MS queue that the paper calls out:
+//
+//   - Tail is a hint that may lag arbitrarily far behind (even behind
+//     Head); enqueuers walk forward from it and swing it opportunistically.
+//   - Because Tail (and any delayed process) may still reference dequeued
+//     nodes, nodes cannot be freed when dequeued. Each node instead carries
+//     a reference counter accounting for every link in the structure (Head,
+//     Tail, predecessor's next field) plus every process-local temporary
+//     reference, and is recycled only when the counter reaches zero.
+//   - Releasing a node releases the link reference it holds on its
+//     successor, so a single stalled process holding one counted reference
+//     transitively pins every later node: no finite free list suffices.
+//
+// The counting discipline here expresses the TR 599 corrections as an
+// increment-only-if-positive rule: a temporary reference may be acquired
+// only on a node that verifiably has a live reference (the validated source
+// word's own), which makes the decrement-to-zero transition unique and
+// prevents the double-free races of the original.
+type Valois struct {
+	a *arena.Arena
+
+	head arena.Word
+	_    pad.Line
+	tail arena.Word
+	_    pad.Line
+
+	tr inject.Tracer
+}
+
+// NewValois returns an empty queue over an arena of the given capacity
+// (number of nodes in the free list, including the one consumed by the
+// dummy).
+func NewValois(capacity int) *Valois {
+	q := &Valois{a: arena.New(capacity)}
+	dummy, ok := q.a.Alloc()
+	if !ok {
+		panic("baseline: fresh arena has no free node")
+	}
+	// The dummy is referenced by Head and by Tail.
+	q.a.Get(dummy).Refct().Store(2)
+	q.head.Store(arena.Pack(dummy.Index(), 0))
+	q.tail.Store(arena.Pack(dummy.Index(), 0))
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before the
+// queue is shared between goroutines.
+func (q *Valois) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// Arena exposes the node arena so tests and the memory experiment can
+// observe occupancy.
+func (q *Valois) Arena() *arena.Arena { return q.a }
+
+// Enqueue appends v, spinning if the free list is momentarily exhausted.
+// Use TryEnqueue to observe exhaustion instead (the paper's experiment did:
+// it is how the authors discovered the algorithm running out of memory).
+func (q *Valois) Enqueue(v uint64) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// TryEnqueue appends v and reports whether a free node was available.
+func (q *Valois) TryEnqueue(v uint64) bool {
+	ref, ok := q.a.Alloc()
+	if !ok {
+		return false
+	}
+	n := q.a.Get(ref)
+	n.Refct().Store(1) // our temporary reference
+	n.Value.Store(v)
+
+	// Start from the tail hint and walk to the last node.
+	t := q.safeRead(&q.tail)
+	for {
+		tn := q.a.Get(t)
+		next := tn.Next.Load()
+		if next.IsNil() {
+			// t looks like the last node: try to link after it. The new
+			// link will hold a reference, acquired provisionally (we hold a
+			// temporary reference on the node, so its count is positive).
+			n.Refct().Add(1)
+			if tn.Next.CAS(next, arena.Pack(ref.Index(), next.Count()+1)) {
+				break
+			}
+			n.Refct().Add(-1) // link not installed; undo
+			continue          // someone linked concurrently; walk on
+		}
+		// Walk one hop towards the end, carrying counted references.
+		s := q.safeRead(&tn.Next)
+		if s.IsNil() {
+			continue // link changed under us; re-read
+		}
+		q.advanceTail(t, s)
+		q.releaseRef(t)
+		t = s
+	}
+	// Linked. Swing the tail hint to the new node (it may fail and lag —
+	// that is Valois's defining behaviour).
+	q.advanceTail(t, ref)
+	q.releaseRef(t)
+	q.releaseRef(ref) // drop our temporary reference from allocation
+	return true
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (q *Valois) Dequeue() (uint64, bool) {
+	for {
+		h := q.safeRead(&q.head)
+		if q.tr != nil {
+			q.tr.At(PointValoisHoldingRef)
+		}
+		next := q.safeRead(&q.a.Get(h).Next)
+		if next.IsNil() {
+			// h was the validated head and its next was nil: the queue was
+			// empty at the instant of the nil read (Head cannot move off a
+			// node whose next is nil).
+			q.releaseRef(h)
+			return 0, false
+		}
+		// Provisionally take the reference Head will hold on the new dummy.
+		q.a.Get(next).Refct().Add(1)
+		if q.head.CAS(h, arena.Pack(next.Index(), h.Count()+1)) {
+			// The swing succeeded: we inherited Head's reference on h.
+			q.releaseRef(h) // Head's old reference
+			// Reading the value *after* the swing is safe here (unlike in
+			// the MS queue): our counted reference on next prevents the
+			// node from being recycled.
+			v := q.a.Get(next).Value.Load()
+			q.releaseRef(next) // our temporary
+			q.releaseRef(h)    // our temporary
+			return v, true
+		}
+		q.a.Get(next).Refct().Add(-1) // provisional Head reference, undone
+		q.releaseRef(next)
+		q.releaseRef(h)
+	}
+}
+
+// advanceTail tries once to swing the tail hint from (the node of) cur to
+// to, transferring the tail's counted reference. The caller must hold
+// temporary references on both nodes.
+func (q *Valois) advanceTail(cur, to arena.Ref) {
+	tail := q.tail.Load()
+	if tail.Index() != cur.Index() {
+		return
+	}
+	q.a.Get(to).Refct().Add(1) // provisional Tail reference
+	if q.tail.CAS(tail, arena.Pack(to.Index(), tail.Count()+1)) {
+		q.releaseRef(cur) // Tail's old reference, inherited by us
+	} else {
+		q.a.Get(to).Refct().Add(-1)
+	}
+}
+
+// safeRead is Valois's SafeRead: load a reference from a shared word and
+// acquire a counted reference on its target, validating that the word still
+// holds the same (tagged) value afterwards. The increment is attempted only
+// while the count is observably positive — a node whose count has reached
+// zero is being (or has been) recycled, which implies the word has changed,
+// so the read is retried. This is the discipline that makes the
+// decrement-to-zero transition in releaseRef unique.
+func (q *Valois) safeRead(w *arena.Word) arena.Ref {
+	for {
+		r := w.Load()
+		if r.IsNil() {
+			return arena.NilRef
+		}
+		if !incIfPositive(q.a.Get(r).Refct()) {
+			continue // target is being recycled; the word must be changing
+		}
+		if w.Load() == r {
+			return r
+		}
+		q.releaseRef(r) // word changed; our reference was still safely held
+	}
+}
+
+// releaseRef is Valois's Release: drop one counted reference; if the count
+// reaches zero, recycle the node and release the link reference it held on
+// its successor (iteratively, to bound stack depth when a long pinned chain
+// is finally released).
+func (q *Valois) releaseRef(r arena.Ref) {
+	for !r.IsNil() {
+		n := q.a.Get(r)
+		if n.Refct().Add(-1) != 0 {
+			return
+		}
+		next := n.Next.Load()
+		q.a.Free(r)
+		r = next
+	}
+}
+
+// incIfPositive atomically increments c if it is positive, reporting
+// whether it did.
+func incIfPositive(c *atomic.Int64) bool {
+	for {
+		v := c.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(v, v+1) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package baseline_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/baseline"
+	"msqueue/internal/inject"
+)
+
+// TestValoisQuiescentOccupancy checks the reference-count ledger end to
+// end: after any amount of churn and a full drain, exactly one node (the
+// dummy, referenced by Head and Tail) remains allocated. A leaked reference
+// would strand nodes; a miscounted release would double-free and corrupt
+// the free list, which the subsequent refill would expose.
+func TestValoisQuiescentOccupancy(t *testing.T) {
+	const capacity = 64
+	q := baseline.NewValois(capacity)
+	for round := 0; round < 300; round++ {
+		for i := uint64(0); i < 20; i++ {
+			q.Enqueue(i)
+		}
+		for i := uint64(0); i < 20; i++ {
+			if v, ok := q.Dequeue(); !ok || v != i {
+				t.Fatalf("round %d: Dequeue = %d,%v, want %d", round, v, ok, i)
+			}
+		}
+		if got := q.Arena().InUse(); got != 1 {
+			t.Fatalf("round %d: %d nodes in use after drain, want 1 (the dummy)", round, got)
+		}
+	}
+}
+
+func TestValoisConcurrentOccupancy(t *testing.T) {
+	const (
+		capacity = 256
+		procs    = 6
+		iters    = 4000
+	)
+	q := baseline.NewValois(capacity)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q.Enqueue(uint64(p*iters + i))
+				q.Dequeue()
+			}
+		}(p)
+	}
+	wg.Wait()
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+	}
+	if got := q.Arena().InUse(); got != 1 {
+		t.Fatalf("%d nodes in use after concurrent churn and drain, want 1", got)
+	}
+}
+
+// TestValoisStalledReaderPinsMemory reproduces the paper's central
+// criticism of Valois's memory management (experiment O-3 in DESIGN.md):
+// one process stalled while holding a single counted reference prevents
+// reclamation of that node and, transitively through the link references,
+// of every node enqueued afterwards — so a queue whose length never
+// exceeds a few items still exhausts an arbitrarily large free list.
+// ("In experiments with a queue of maximum length 12 items, we ran out of
+// memory several times ... using a free list initialized with 64,000
+// nodes.")
+func TestValoisStalledReaderPinsMemory(t *testing.T) {
+	const capacity = 512
+	q := baseline.NewValois(capacity)
+	gate := inject.NewGate(baseline.PointValoisHoldingRef)
+	q.SetTracer(gate)
+
+	stalled := make(chan struct{})
+	go func() {
+		q.Dequeue() // freezes holding a counted reference to the dummy
+		close(stalled)
+	}()
+	<-gate.Entered()
+
+	// Churn a queue that never holds more than one live item. With working
+	// reclamation (the MS queue) occupancy would stay at 2; with a pinned
+	// chain every fresh node stays allocated, and the bounded free list
+	// eventually runs dry.
+	exhaustedAt := -1
+	for i := 0; i < 2*capacity; i++ {
+		if !q.TryEnqueue(uint64(i)) {
+			exhaustedAt = i
+			break
+		}
+		q.Dequeue()
+	}
+	if exhaustedAt < 0 {
+		t.Fatalf("free list of %d nodes never exhausted by a 1-item queue with a stalled reader; occupancy %d",
+			capacity, q.Arena().InUse())
+	}
+	if got := q.Arena().InUse(); got != capacity {
+		t.Fatalf("InUse = %d at exhaustion, want the whole arena (%d)", got, capacity)
+	}
+
+	// Releasing the stalled process unpins the chain: its reference drains,
+	// the chain is released iteratively, and the queue works again.
+	gate.Release()
+	<-stalled
+	if got := q.Arena().InUse(); got >= capacity {
+		t.Fatalf("InUse = %d after release, want the pinned chain reclaimed", got)
+	}
+	q.SetTracer(nil)
+	if !q.TryEnqueue(7) {
+		t.Fatal("TryEnqueue failed after the pinned chain was reclaimed")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("Dequeue = %d,%v, want 7", v, ok)
+	}
+}
+
+// TestValoisOccupancyGrowsWhilePinned pins the mechanism behind the
+// exhaustion: while one counted reference is stalled, occupancy grows
+// monotonically with every enqueue even though the queue's length
+// oscillates between 0 and 1. (The MS contrast — occupancy stays constant
+// under the same scenario — is TestMSTaggedNodeReuse in internal/core.)
+func TestValoisOccupancyGrowsWhilePinned(t *testing.T) {
+	const capacity = 128
+	q := baseline.NewValois(capacity)
+	gate := inject.NewGate(baseline.PointValoisHoldingRef)
+	q.SetTracer(gate)
+
+	stalled := make(chan struct{})
+	go func() {
+		q.Dequeue()
+		close(stalled)
+	}()
+	<-gate.Entered()
+
+	// Occupancy grows monotonically with every enqueue while the reader is
+	// stalled, even though the queue length oscillates between 0 and 1.
+	prev := q.Arena().InUse()
+	for i := 0; i < 32; i++ {
+		if !q.TryEnqueue(uint64(i)) {
+			t.Fatalf("arena exhausted after only %d items with capacity %d", i, capacity)
+		}
+		q.Dequeue()
+		got := q.Arena().InUse()
+		if got < prev {
+			t.Fatalf("occupancy shrank from %d to %d while the chain was pinned", prev, got)
+		}
+		prev = got
+	}
+	if prev < 32 {
+		t.Fatalf("occupancy %d after 32 churned items, want >= 32 (chain pinned)", prev)
+	}
+
+	gate.Release()
+	<-stalled
+}

@@ -1,0 +1,11 @@
+package core
+
+import "msqueue/internal/queue"
+
+// Compile-time checks that the implementations satisfy the queue contracts.
+var (
+	_ queue.Queue[int]      = (*MS[int])(nil)
+	_ queue.Queue[int]      = (*TwoLock[int])(nil)
+	_ queue.Bounded[uint64] = (*MSTagged)(nil)
+	_ queue.Bounded[uint64] = (*TwoLockTagged)(nil)
+)

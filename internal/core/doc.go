@@ -1,0 +1,17 @@
+// Package core implements the paper's two contributions:
+//
+//   - the non-blocking concurrent FIFO queue (Figure 1), here in two forms:
+//     MS, an idiomatic Go port whose ABA-safety and node reclamation are
+//     provided by the garbage collector, and MSTagged, a verbatim
+//     reproduction with modification counters, a Treiber-stack free list,
+//     and immediate node reuse over a fixed arena;
+//   - the two-lock queue (Figure 2), again in a GC form (TwoLock) and a
+//     tagged, node-reusing form (TwoLockTagged), parameterised over the
+//     lock implementation.
+//
+// Both algorithms keep a dummy node at the head of a singly linked list
+// (Sites's technique, via Valois): Head always points to the dummy, Tail to
+// the last or second-to-last node. The dummy removes the empty/single-item
+// special cases, and in the two-lock queue it means enqueuers never touch
+// Head and dequeuers never touch Tail, so the two locks cannot deadlock.
+package core

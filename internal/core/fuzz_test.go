@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+
+	"msqueue/internal/core"
+)
+
+// fuzzAgainstModel interprets data as an operation script (odd byte =
+// enqueue a fresh value, even byte = dequeue) and cross-checks the queue
+// against a slice model. The seeds exercise empty-queue edges, drains and
+// refills; `go test -fuzz` explores further.
+func fuzzAgainstModel(t *testing.T, data []byte, enq func(int), deq func() (int, bool)) {
+	t.Helper()
+	var (
+		model []int
+		next  int
+	)
+	for i, b := range data {
+		if b%2 == 1 {
+			next++
+			enq(next)
+			model = append(model, next)
+			continue
+		}
+		v, ok := deq()
+		if len(model) == 0 {
+			if ok {
+				t.Fatalf("op %d: dequeue on empty returned %d", i, v)
+			}
+			continue
+		}
+		want := model[0]
+		model = model[1:]
+		if !ok || v != want {
+			t.Fatalf("op %d: dequeue = %d,%v, want %d", i, v, ok, want)
+		}
+	}
+	for _, want := range model {
+		v, ok := deq()
+		if !ok || v != want {
+			t.Fatalf("drain: dequeue = %d,%v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := deq(); ok {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0})
+	f.Add([]byte{1, 1, 1, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0})
+}
+
+func FuzzMSAgainstModel(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := core.NewMS[int]()
+		fuzzAgainstModel(t, data,
+			q.Enqueue,
+			q.Dequeue,
+		)
+	})
+}
+
+func FuzzMSTaggedAgainstModel(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Capacity of the data length bounds live items; +1 for safety on
+		// empty scripts.
+		q := core.NewMSTagged(len(data) + 1)
+		fuzzAgainstModel(t, data,
+			func(v int) { q.Enqueue(uint64(v)) },
+			func() (int, bool) { v, ok := q.Dequeue(); return int(v), ok },
+		)
+	})
+}
+
+func FuzzTwoLockAgainstModel(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := core.NewTwoLock[int](nil, nil)
+		fuzzAgainstModel(t, data,
+			q.Enqueue,
+			q.Dequeue,
+		)
+	})
+}
+
+func FuzzTwoLockTaggedAgainstModel(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := core.NewTwoLockTagged(len(data)+1, nil, nil)
+		fuzzAgainstModel(t, data,
+			func(v int) { q.Enqueue(uint64(v)) },
+			func() (int, bool) { v, ok := q.Dequeue(); return int(v), ok },
+		)
+	})
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"msqueue/internal/pad"
+)
+
+// MS is the Michael–Scott non-blocking queue (Figure 1 of the paper) in
+// idiomatic Go. The algorithm is the paper's verbatim; what Go's garbage
+// collector changes is the memory story:
+//
+//   - the explicit free list disappears (allocation is `new`, reclamation is
+//     the GC), and
+//   - the modification counters disappear, because the ABA scenario they
+//     defend against cannot arise: a stale pointer keeps its node alive, so
+//     no other node can be "the same address with different contents".
+//
+// Everything else — the dummy node, the lagging-tail helping, the
+// consistency re-reads, the read-value-before-CAS order — is unchanged.
+// The zero value is not usable; call NewMS.
+type MS[T any] struct {
+	head atomic.Pointer[msNode[T]]
+	_    pad.Line
+	tail atomic.Pointer[msNode[T]]
+	_    pad.Line
+}
+
+type msNode[T any] struct {
+	value T
+	next  atomic.Pointer[msNode[T]]
+}
+
+// NewMS returns an empty queue: Head and Tail both point at a fresh dummy
+// node whose next pointer is nil.
+func NewMS[T any]() *MS[T] {
+	q := &MS[T]{}
+	dummy := &msNode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v to the tail of the queue. It is lock-free: the loop
+// re-runs only when some other process has completed an enqueue in the
+// meantime (paper, section 3.3).
+func (q *MS[T]) Enqueue(v T) {
+	n := &msNode[T]{value: v} // E1–E3: allocate, fill, next = nil
+	for {
+		tail := q.tail.Load()      // E5
+		next := tail.next.Load()   // E6
+		if tail != q.tail.Load() { // E7: are tail and next consistent?
+			continue
+		}
+		if next == nil { // E8: was Tail pointing to the last node?
+			// E9: try to link the node at the end of the list.
+			if tail.next.CompareAndSwap(nil, n) {
+				// E13: enqueue is done; try to swing Tail to the node.
+				// Failure means someone already helped us — fine either way.
+				q.tail.CompareAndSwap(tail, n)
+				return
+			}
+		} else {
+			// E12: Tail was lagging; help swing it to the next node.
+			q.tail.CompareAndSwap(tail, next)
+		}
+	}
+}
+
+// Dequeue removes and returns the value at the head, or reports false if
+// the queue is empty.
+func (q *MS[T]) Dequeue() (T, bool) {
+	for {
+		head := q.head.Load()      // D2
+		tail := q.tail.Load()      // D3
+		next := head.next.Load()   // D4
+		if head != q.head.Load() { // D5: are head, tail, next consistent?
+			continue
+		}
+		if head == tail { // D6: empty, or Tail falling behind?
+			if next == nil { // D7: empty
+				var zero T
+				return zero, false
+			}
+			// D9: Tail is falling behind; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		// D11: read the value before the CAS. With explicit reclamation the
+		// reason is that another dequeuer might free the node; with a GC the
+		// order still matters because after a successful CAS the new dummy's
+		// value may be overwritten by nobody — but a *failed* CAS means the
+		// value belongs to someone else's dequeue and must be discarded.
+		v := next.value
+		if q.head.CompareAndSwap(head, next) { // D12: swing Head
+			// D14 (free the old dummy) is the garbage collector's job. The
+			// new dummy retains its value until the next dequeue replaces
+			// the dummy again; for pointer-typed T this pins one element's
+			// referents for at most one extra operation.
+			return v, true
+		}
+	}
+}

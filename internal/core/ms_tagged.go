@@ -1,0 +1,149 @@
+package core
+
+import (
+	"msqueue/internal/arena"
+	"msqueue/internal/inject"
+	"msqueue/internal/pad"
+)
+
+// Trace points exposed by the tagged algorithms, named after the paper's
+// pseudo-code line labels. Fault-injection tests stall a goroutine at one of
+// these instants to model "a process halted or delayed at an inopportune
+// moment".
+const (
+	PointE5ReadTail     inject.Point = "E5:read-tail"
+	PointE9BeforeLink   inject.Point = "E9:before-link"
+	PointE13BeforeSwing inject.Point = "E13:before-swing-tail"
+	PointD2ReadHead     inject.Point = "D2:read-head"
+	PointD12BeforeSwing inject.Point = "D12:before-swing-head"
+	PointD14BeforeFree  inject.Point = "D14:before-free"
+)
+
+// MSTagged is the paper's Figure 1 reproduced verbatim: tagged references
+// (32-bit index + 32-bit modification counter in a single CAS word), a
+// bounded node arena whose free list is Treiber's non-blocking stack, and
+// immediate reuse of dequeued nodes. Values are uint64, matching the
+// machine-word payloads of the original C implementation.
+//
+// Unlike the GC-based MS, this variant demonstrates the two properties the
+// paper highlights over Valois's queue: Tail never lags behind Head, so a
+// dequeued node is unreachable and may be freed at once; and the counters
+// make the compare_and_swaps immune to reuse-induced ABA.
+type MSTagged struct {
+	a *arena.Arena
+
+	head arena.Word
+	_    pad.Line
+	tail arena.Word
+	_    pad.Line
+
+	tr inject.Tracer
+}
+
+// NewMSTagged returns an empty tagged queue able to hold capacity items
+// concurrently. One extra node is reserved for the dummy.
+func NewMSTagged(capacity int) *MSTagged {
+	q := &MSTagged{a: arena.New(capacity + 1)}
+	dummy, ok := q.a.Alloc()
+	if !ok {
+		panic("core: fresh arena has no free node")
+	}
+	q.head.Store(arena.Pack(dummy.Index(), 0))
+	q.tail.Store(arena.Pack(dummy.Index(), 0))
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before the
+// queue is shared between goroutines.
+func (q *MSTagged) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// Arena exposes the node arena for occupancy assertions in tests and for
+// the memory-reuse experiments.
+func (q *MSTagged) Arena() *arena.Arena { return q.a }
+
+// Cap returns the item capacity (arena size minus the dummy).
+func (q *MSTagged) Cap() int { return q.a.Cap() - 1 }
+
+// Enqueue appends v, spinning if the arena is momentarily exhausted. Use
+// TryEnqueue to observe exhaustion instead.
+func (q *MSTagged) Enqueue(v uint64) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// TryEnqueue appends v and reports whether a free node was available.
+func (q *MSTagged) TryEnqueue(v uint64) bool {
+	ref, ok := q.a.Alloc() // E1: allocate a node from the free list
+	if !ok {
+		return false
+	}
+	node := q.a.Get(ref)
+	node.Value.Store(v) // E2 (E3, next := nil, was done by Alloc)
+
+	var tail arena.Ref
+	for { // E4: keep trying until the enqueue is done
+		tail = q.tail.Load() // E5: read Tail.ptr and Tail.count together
+		q.at(PointE5ReadTail)
+		tn := q.a.Get(tail)
+		next := tn.Next.Load()     // E6: read next.ptr and count together
+		if tail != q.tail.Load() { // E7: are tail and next consistent?
+			continue
+		}
+		if next.IsNil() { // E8: was Tail pointing to the last node?
+			q.at(PointE9BeforeLink)
+			// E9: try to link the node at the end of the list.
+			if tn.Next.CAS(next, arena.Pack(ref.Index(), next.Count()+1)) {
+				break // E10: enqueue is done
+			}
+		} else {
+			// E12: Tail was not pointing to the last node; help swing it.
+			q.tail.CAS(tail, arena.Pack(next.Index(), tail.Count()+1))
+		}
+	}
+	q.at(PointE13BeforeSwing)
+	// E13: enqueue is done; try to swing Tail to the inserted node.
+	q.tail.CAS(tail, arena.Pack(ref.Index(), tail.Count()+1))
+	return true
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (q *MSTagged) Dequeue() (uint64, bool) {
+	for { // D1: keep trying until the dequeue is done
+		head := q.head.Load() // D2
+		q.at(PointD2ReadHead)
+		tail := q.tail.Load() // D3
+		hn := q.a.Get(head)
+		next := hn.Next.Load()     // D4
+		if head != q.head.Load() { // D5: are head, tail, next consistent?
+			continue
+		}
+		if head.Index() == tail.Index() { // D6: empty or Tail falling behind?
+			if next.IsNil() { // D7
+				return 0, false // D8: queue is empty
+			}
+			// D9: Tail is falling behind; try to advance it.
+			q.tail.CAS(tail, arena.Pack(next.Index(), tail.Count()+1))
+			continue
+		}
+		// D11: read the value before the CAS; otherwise another dequeue
+		// might free the node and an enqueue reuse it under us. A failed
+		// CAS below discards this (possibly torn-by-reuse) value.
+		v := q.a.Get(next).Value.Load()
+		q.at(PointD12BeforeSwing)
+		// D12: try to swing Head to the next node.
+		if q.head.CAS(head, arena.Pack(next.Index(), head.Count()+1)) {
+			q.at(PointD14BeforeFree)
+			// D14: it is now safe to free the old dummy. No pointer in the
+			// structure reaches it: Head has moved past it, and Tail never
+			// lags behind Head.
+			q.a.Free(head)
+			return v, true // D15
+		}
+	}
+}
+
+func (q *MSTagged) at(p inject.Point) {
+	if q.tr != nil {
+		q.tr.At(p)
+	}
+}

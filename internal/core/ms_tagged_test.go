@@ -1,0 +1,210 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/algorithms"
+	"msqueue/internal/core"
+	"msqueue/internal/inject"
+	"msqueue/internal/queuetest"
+)
+
+func TestMSTaggedConformance(t *testing.T) {
+	info, err := algorithms.Lookup("ms-tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuetest.Run(t, info.New, queuetest.Options{})
+}
+
+func TestMSTaggedCapacity(t *testing.T) {
+	q := core.NewMSTagged(4)
+	if got := q.Cap(); got != 4 {
+		t.Fatalf("Cap = %d, want 4", got)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue %d failed below capacity", i)
+		}
+	}
+	if q.TryEnqueue(99) {
+		t.Fatal("TryEnqueue succeeded beyond capacity")
+	}
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("Dequeue failed on a full queue")
+	}
+	if !q.TryEnqueue(99) {
+		t.Fatal("TryEnqueue failed after a dequeue freed a node")
+	}
+}
+
+// TestMSTaggedNodeReuse verifies the property the paper designed for: Tail
+// never lags behind Head, so dequeued nodes return to the free list at
+// once — the arena occupancy after any drain is exactly the dummy node.
+func TestMSTaggedNodeReuse(t *testing.T) {
+	q := core.NewMSTagged(8)
+	for round := 0; round < 1000; round++ {
+		for i := uint64(0); i < 8; i++ {
+			if !q.TryEnqueue(i) {
+				t.Fatalf("round %d: arena exhausted at item %d: nodes are not being reused", round, i)
+			}
+		}
+		for i := uint64(0); i < 8; i++ {
+			if v, ok := q.Dequeue(); !ok || v != i {
+				t.Fatalf("round %d: Dequeue = %d,%v, want %d", round, v, ok, i)
+			}
+		}
+		if got := q.Arena().InUse(); got != 1 {
+			t.Fatalf("round %d: %d nodes in use after drain, want 1 (the dummy)", round, got)
+		}
+	}
+}
+
+// TestMSTaggedABACounterPreventsStaleSwing reproduces the classic ABA
+// interleaving on the Head pointer and verifies the modification counter
+// defeats it: a dequeuer stalls just before its CAS; the node it read as
+// Head is dequeued, freed, reallocated by a later enqueue, and becomes Head
+// again (same index). Without the counter, the stale CAS would succeed and
+// re-deliver an already-dequeued value while pointing Head at a free node;
+// with it, the CAS fails and the dequeuer correctly observes an empty
+// queue. internal/flawed runs the same script against Stone's queue, where
+// the CAS *does* succeed.
+func TestMSTaggedABACounterPreventsStaleSwing(t *testing.T) {
+	q := core.NewMSTagged(8)
+	q.Enqueue(1)
+	q.Enqueue(2)
+
+	gate := inject.NewGate(core.PointD12BeforeSwing)
+	q.SetTracer(gate)
+
+	type result struct {
+		v  uint64
+		ok bool
+	}
+	stalled := make(chan result, 1)
+	go func() {
+		v, ok := q.Dequeue()
+		stalled <- result{v: v, ok: ok}
+	}()
+	<-gate.Entered() // frozen holding head=<dummy slot X>, next=<node(1)>
+
+	// Drive the arena so slot X cycles back to being the Head index:
+	// dequeue 1 (frees X, Treiber top = X), enqueue 3 (reuses X),
+	// dequeue 2 and 3 (Head ends on slot X, with advanced counters).
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v, want 1", v, ok)
+	}
+	q.Enqueue(3)
+	if v, ok := q.Dequeue(); !ok || v != 2 {
+		t.Fatalf("Dequeue = %d,%v, want 2", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 3 {
+		t.Fatalf("Dequeue = %d,%v, want 3", v, ok)
+	}
+
+	gate.Release()
+	r := <-stalled
+	if r.ok {
+		t.Fatalf("stalled dequeuer returned %d: its stale CAS must fail (ABA would re-deliver a dequeued value)", r.v)
+	}
+	if got := q.Arena().InUse(); got != 1 {
+		t.Fatalf("%d nodes in use on an empty queue, want 1", got)
+	}
+
+	// The queue must remain fully functional afterwards.
+	q.SetTracer(nil)
+	q.Enqueue(4)
+	if v, ok := q.Dequeue(); !ok || v != 4 {
+		t.Fatalf("Dequeue after ABA script = %d,%v, want 4", v, ok)
+	}
+}
+
+// TestMSTaggedStalledEnqueuerDoesNotBlock: the defining non-blocking test.
+// An enqueuer frozen immediately before linking (after reading a consistent
+// tail) cannot prevent other processes from completing enqueues and
+// dequeues.
+func TestMSTaggedStalledEnqueuerDoesNotBlock(t *testing.T) {
+	q := core.NewMSTagged(64)
+	gate := inject.NewGate(core.PointE9BeforeLink)
+	q.SetTracer(gate)
+
+	stalled := make(chan struct{})
+	go func() {
+		q.Enqueue(100)
+		close(stalled)
+	}()
+	<-gate.Entered()
+
+	// The stalled process has allocated a node and read Tail but linked
+	// nothing; the queue state is untouched, so everyone else proceeds.
+	for i := uint64(1); i <= 10; i++ {
+		q.Enqueue(i)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v, want %d", v, ok, i)
+		}
+	}
+
+	gate.Release()
+	<-stalled
+	if v, ok := q.Dequeue(); !ok || v != 100 {
+		t.Fatalf("Dequeue = %d,%v, want the stalled enqueuer's 100", v, ok)
+	}
+}
+
+// TestMSTaggedConcurrentReuseStress hammers a tiny arena from many
+// goroutines so that every operation races with node recycling; the tagged
+// CAS discipline must keep values conserved.
+func TestMSTaggedConcurrentReuseStress(t *testing.T) {
+	const (
+		procs = 8
+		iters = 5000
+	)
+	q := core.NewMSTagged(procs + 2) // barely more nodes than processes
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		freq  = make(map[uint64]int)
+		extra int
+	)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			local := make(map[uint64]int)
+			for i := 0; i < iters; i++ {
+				q.Enqueue(uint64(p*iters + i + 1))
+				if v, ok := q.Dequeue(); ok {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for k, n := range local {
+				freq[k] += n
+			}
+		}(p)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		freq[v]++
+		extra++
+	}
+	if len(freq) != procs*iters {
+		t.Fatalf("dequeued %d distinct values, want %d", len(freq), procs*iters)
+	}
+	for v, n := range freq {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+	if got := q.Arena().InUse(); got != 1 {
+		t.Fatalf("%d nodes in use after drain, want 1", got)
+	}
+}

@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/core"
+	"msqueue/internal/inject"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+func TestMSConformance(t *testing.T) {
+	queuetest.Run(t, func(int) queue.Queue[int] {
+		return core.NewMS[int]()
+	}, queuetest.Options{})
+}
+
+func TestMSGenericTypes(t *testing.T) {
+	// The GC variant is generic; exercise a non-word payload.
+	type payload struct {
+		id   int
+		name string
+	}
+	q := core.NewMS[payload]()
+	q.Enqueue(payload{id: 1, name: "a"})
+	q.Enqueue(payload{id: 2, name: "b"})
+	if v, ok := q.Dequeue(); !ok || v.id != 1 || v.name != "a" {
+		t.Fatalf("Dequeue = %+v,%v", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v.id != 2 {
+		t.Fatalf("Dequeue = %+v,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestMSPointerValues(t *testing.T) {
+	q := core.NewMS[*int]()
+	vals := make([]*int, 100)
+	for i := range vals {
+		v := i
+		vals[i] = &v
+		q.Enqueue(&v)
+	}
+	for i := range vals {
+		p, ok := q.Dequeue()
+		if !ok || p != vals[i] {
+			t.Fatalf("Dequeue %d = %v,%v, want %v", i, p, ok, vals[i])
+		}
+	}
+}
+
+// TestMSEnqueueHelpsLaggingTail verifies the helping behaviour of line E12:
+// when Tail lags (an enqueuer stalled between link and swing), other
+// enqueuers complete by swinging Tail themselves, so the queue stays usable
+// — the essence of the non-blocking property for enqueues.
+func TestMSEnqueueHelpsLaggingTail(t *testing.T) {
+	q := core.NewMSTagged(64)
+	gate := inject.NewGate(core.PointE13BeforeSwing)
+	q.SetTracer(gate)
+
+	stalled := make(chan struct{})
+	go func() {
+		q.Enqueue(1) // will freeze after linking, before swinging Tail
+		close(stalled)
+	}()
+	<-gate.Entered()
+
+	// The stalled enqueuer has linked node 1 but Tail still points at the
+	// dummy. Other operations must complete regardless.
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(2)
+		q.Enqueue(3)
+		close(done)
+	}()
+	<-done
+
+	gate.Release()
+	<-stalled
+
+	for want := uint64(1); want <= 3; want++ {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = %d,%v, want %d", v, ok, want)
+		}
+	}
+}
+
+// TestMSDequeueProceedsPastStalledDequeuer verifies that a dequeuer frozen
+// just before its Head CAS (line D12) cannot block other dequeuers: its CAS
+// simply fails when it wakes, and it retries.
+func TestMSDequeueProceedsPastStalledDequeuer(t *testing.T) {
+	q := core.NewMSTagged(64)
+	for i := uint64(1); i <= 4; i++ {
+		q.Enqueue(i)
+	}
+
+	gate := inject.NewGate(core.PointD12BeforeSwing)
+	q.SetTracer(gate)
+
+	type result struct {
+		v  uint64
+		ok bool
+	}
+	stalledResult := make(chan result, 1)
+	go func() {
+		v, ok := q.Dequeue()
+		stalledResult <- result{v: v, ok: ok}
+	}()
+	<-gate.Entered()
+
+	// While the first dequeuer is frozen pre-CAS, others drain the queue.
+	var got []uint64
+	for i := 0; i < 3; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("concurrent dequeue %d failed", i)
+		}
+		got = append(got, v)
+	}
+
+	gate.Release()
+	r := <-stalledResult
+	if !r.ok {
+		t.Fatal("stalled dequeuer found the queue empty, want the remaining item")
+	}
+
+	seen := map[uint64]bool{r.v: true}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice (stalled dequeuer returned %d, others %v)", v, r.v, got)
+		}
+		seen[v] = true
+	}
+	for want := uint64(1); want <= 4; want++ {
+		if !seen[want] {
+			t.Fatalf("value %d lost (stalled dequeuer returned %d, others %v)", want, r.v, got)
+		}
+	}
+}
+
+// TestMSConcurrentMixedSizes drives many goroutines with uneven producer/
+// consumer splits to shake out interleavings beyond the symmetric suite.
+func TestMSConcurrentMixedSizes(t *testing.T) {
+	q := core.NewMS[int]()
+	var wg sync.WaitGroup
+	const total = 9000
+	for p := 0; p < 9; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				q.Enqueue(p*1000 + i)
+			}
+		}(p)
+	}
+	var count int
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for count < total {
+			if _, ok := q.Dequeue(); ok {
+				count++
+			}
+		}
+	}()
+	wg.Wait()
+	cwg.Wait()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty after consuming all items")
+	}
+}

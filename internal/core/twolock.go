@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"msqueue/internal/arena"
+	"msqueue/internal/pad"
+)
+
+// TwoLock is the paper's two-lock queue (Figure 2): separate head and tail
+// locks plus a dummy node, so one enqueue and one dequeue can proceed
+// concurrently, and neither operation ever needs both locks — eliminating
+// deadlock by construction.
+//
+// The node's next field is atomic: when the queue holds only the dummy, the
+// enqueuer's link store (under the tail lock) and the dequeuer's emptiness
+// probe (under the head lock) touch the same word under *different* locks,
+// so that word needs its own synchronisation. The original C code relied on
+// word-aligned stores being atomic; Go requires saying so.
+type TwoLock[T any] struct {
+	hlock sync.Locker
+	_     pad.Line
+	tlock sync.Locker
+	_     pad.Line
+
+	head *tlNode[T] // protected by hlock
+	_    pad.Line
+	tail *tlNode[T] // protected by tlock
+	_    pad.Line
+}
+
+type tlNode[T any] struct {
+	value T
+	next  atomic.Pointer[tlNode[T]]
+}
+
+// NewTwoLock returns an empty two-lock queue using the given head and tail
+// locks. Passing nil for either selects a sync.Mutex.
+func NewTwoLock[T any](hlock, tlock sync.Locker) *TwoLock[T] {
+	if hlock == nil {
+		hlock = &sync.Mutex{}
+	}
+	if tlock == nil {
+		tlock = &sync.Mutex{}
+	}
+	dummy := &tlNode[T]{}
+	return &TwoLock[T]{hlock: hlock, tlock: tlock, head: dummy, tail: dummy}
+}
+
+// Enqueue appends v to the tail of the queue. Only the tail lock is taken.
+func (q *TwoLock[T]) Enqueue(v T) {
+	n := &tlNode[T]{value: v} // allocate and fill outside the critical section
+	q.tlock.Lock()
+	q.tail.next.Store(n) // link node at the end of the linked list
+	q.tail = n           // swing Tail to the node
+	q.tlock.Unlock()
+}
+
+// Dequeue removes and returns the head value. Only the head lock is taken.
+func (q *TwoLock[T]) Dequeue() (T, bool) {
+	q.hlock.Lock()
+	node := q.head
+	newHead := node.next.Load()
+	if newHead == nil { // queue is empty
+		q.hlock.Unlock()
+		var zero T
+		return zero, false
+	}
+	v := newHead.value // read value before moving Head
+	q.head = newHead   // swing Head to the next node (it becomes the dummy)
+	q.hlock.Unlock()
+	// free(node) is the garbage collector's job in this variant.
+	return v, true
+}
+
+// TwoLockTagged is the two-lock queue over a bounded arena with an explicit
+// free list, matching the original's node reuse. Values are uint64 as in
+// the other tagged variants.
+type TwoLockTagged struct {
+	a *arena.Arena
+
+	hlock sync.Locker
+	_     pad.Line
+	tlock sync.Locker
+	_     pad.Line
+
+	head arena.Ref // protected by hlock
+	_    pad.Line
+	tail arena.Ref // protected by tlock
+	_    pad.Line
+}
+
+// NewTwoLockTagged returns an empty tagged two-lock queue with room for
+// capacity items (one extra node is reserved for the dummy). Passing nil
+// locks selects sync.Mutex.
+func NewTwoLockTagged(capacity int, hlock, tlock sync.Locker) *TwoLockTagged {
+	if hlock == nil {
+		hlock = &sync.Mutex{}
+	}
+	if tlock == nil {
+		tlock = &sync.Mutex{}
+	}
+	a := arena.New(capacity + 1)
+	dummy, ok := a.Alloc()
+	if !ok {
+		panic("core: fresh arena has no free node")
+	}
+	return &TwoLockTagged{a: a, hlock: hlock, tlock: tlock, head: dummy, tail: dummy}
+}
+
+// Arena exposes the node arena for occupancy assertions in tests.
+func (q *TwoLockTagged) Arena() *arena.Arena { return q.a }
+
+// Enqueue appends v, spinning if the arena is momentarily exhausted.
+func (q *TwoLockTagged) Enqueue(v uint64) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// TryEnqueue appends v and reports whether a free node was available.
+func (q *TwoLockTagged) TryEnqueue(v uint64) bool {
+	ref, ok := q.a.Alloc() // allocate from the free list, next is nil
+	if !ok {
+		return false
+	}
+	q.a.Get(ref).Value.Store(v)
+	q.tlock.Lock()
+	tn := q.a.Get(q.tail)
+	old := tn.Next.Load()
+	tn.Next.Store(arena.Pack(ref.Index(), old.Count()+1)) // link at the end
+	q.tail = ref                                          // swing Tail
+	q.tlock.Unlock()
+	return true
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (q *TwoLockTagged) Dequeue() (uint64, bool) {
+	q.hlock.Lock()
+	node := q.head
+	newHead := q.a.Get(node).Next.Load()
+	if newHead.IsNil() {
+		q.hlock.Unlock()
+		return 0, false
+	}
+	v := q.a.Get(newHead).Value.Load() // read value before releasing the lock
+	q.head = newHead
+	q.hlock.Unlock()
+	q.a.Free(node) // the old dummy is unreachable; recycle it
+	return v, true
+}

@@ -1,0 +1,449 @@
+package explore
+
+import (
+	"fmt"
+
+	"msqueue/internal/linearizability"
+)
+
+// Mode selects the exploration strategy.
+type Mode int
+
+const (
+	// ModePaths enumerates every complete interleaving and checks each
+	// history with the exact linearizability decision procedure. The number
+	// of interleavings is combinatorial in the event count, so this mode
+	// suits two processes and a handful of operations.
+	ModePaths Mode = iota
+	// ModeGraph walks the reachable *state* graph with memoisation,
+	// checking the structural invariants in every state and detecting
+	// blocked states. State counts stay small even when the path count is
+	// astronomical, so this mode scales to more processes and longer
+	// scripts. Histories (a path property) are not checked.
+	ModeGraph
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModePaths:
+		return "paths"
+	case ModeGraph:
+		return "graph"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes one exhaustive exploration.
+type Config struct {
+	// Algo selects the algorithm all processes run.
+	Algo Algo
+	// Mode selects path enumeration (linearizability) or state-graph search
+	// (invariants, blocking). The zero value is ModePaths.
+	Mode Mode
+	// Scripts gives each process its operation sequence. Enqueued values
+	// must be unique across all scripts (the checkers require it).
+	Scripts [][]OpSpec
+	// ArenaSize is the number of model nodes (including the dummy). For
+	// AlgoMC size it to hold every enqueue plus the dummy: the model, like
+	// the GC implementation, never recycles nodes.
+	ArenaSize int
+	// CheckInvariants, when set, runs after every event. Use
+	// CheckMSInvariants for the MS queue and CheckHeadSanity for the
+	// flawed comparators (whose in-flight states legitimately break the
+	// stronger MS properties).
+	CheckInvariants func(*State) error
+	// CheckLedger, when set, also runs after every event with the process
+	// states (CheckValoisLedger needs the references each process holds).
+	CheckLedger func(*State, []Proc) error
+	// MaxPaths caps the number of complete interleavings (ModePaths) or
+	// visited states (ModeGraph); the result reports truncation. Zero
+	// means DefaultMaxPaths.
+	MaxPaths int
+	// LoopBudget is the fallback bound on consecutive no-write events while
+	// the shared state is unchanged before a process is parked. The primary
+	// spin detector is exact: a process that *revisits* its local state
+	// within an unchanged-version window has entered a deterministic loop
+	// and is parked at once. The budget only catches loops the anchor-based
+	// detector can miss (a cycle entered after the window began). Zero
+	// selects DefaultLoopBudget, which exceeds the longest read-only
+	// straight-line stretch in any modelled machine.
+	LoopBudget int
+}
+
+// Defaults for Config.
+const (
+	DefaultMaxPaths   = 2_000_000
+	DefaultLoopBudget = 12
+)
+
+// Violation describes one failed interleaving or state.
+type Violation struct {
+	// Kind is "invariant", "linearizability", "parked" or "blocked".
+	Kind string
+	// Schedule is the sequence of process ids stepped, from the initial
+	// state to the failure.
+	Schedule []int
+	// Detail is a human-readable description.
+	Detail string
+	// History is the completed-operation history at the failure (for
+	// linearizability violations).
+	History []linearizability.Op
+}
+
+// String formats the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s after schedule %v: %s", v.Kind, v.Schedule, v.Detail)
+}
+
+// Result summarises an exploration.
+type Result struct {
+	// Paths is the number of complete interleavings (ModePaths) or distinct
+	// reachable states (ModeGraph) explored.
+	Paths int
+	// Events is the total number of shared-memory events executed.
+	Events int
+	// Blocked counts executions (ModePaths) or states (ModeGraph) in which
+	// unfinished processes existed but every one was spinning in a
+	// read-only loop — a full deadlock. For every modelled algorithm this
+	// should be zero (even the blocking ones always have *some* process
+	// that can run).
+	Blocked int
+	// Parked counts detections of a process spinning in a read-only loop
+	// while the shared state is quiescent: the process cannot complete its
+	// operation until some *other* process runs — the definition of a
+	// blocking algorithm (section 1). For the non-blocking MS queue this is
+	// zero: a lock-free operation alone in a quiescent window always
+	// completes, because its CASes can only fail after someone else's
+	// write. For Mellor-Crummey's queue the dequeuer parks in the
+	// swap-to-link window.
+	Parked int
+	// Capped reports that MaxPaths truncated the exploration.
+	Capped bool
+	// Violations collects the first few invariant, linearizability and
+	// blocked findings.
+	Violations []Violation
+}
+
+// maxViolations bounds the report size.
+const maxViolations = 8
+
+// Run explores the configured workload exhaustively.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Scripts) == 0 {
+		return Result{}, fmt.Errorf("explore: no process scripts")
+	}
+	if cfg.ArenaSize < 1 {
+		return Result{}, fmt.Errorf("explore: ArenaSize must be >= 1")
+	}
+	if err := validateValues(cfg.Scripts); err != nil {
+		return Result{}, err
+	}
+	maxPaths := cfg.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = DefaultMaxPaths
+	}
+	loopBudget := cfg.LoopBudget
+	if loopBudget == 0 {
+		loopBudget = DefaultLoopBudget
+	}
+
+	state := NewState(cfg.ArenaSize)
+	state.NoHistory = cfg.Mode == ModeGraph
+	if cfg.Algo == AlgoValois {
+		InitValoisQueue(state)
+	} else {
+		InitQueue(state)
+	}
+	procs := make([]Proc, len(cfg.Scripts))
+	for i, script := range cfg.Scripts {
+		procs[i] = Proc{ID: i, Algo: cfg.Algo, Ops: script}
+	}
+
+	e := &explorer{
+		cfg:        cfg,
+		maxPaths:   maxPaths,
+		loopBudget: loopBudget,
+	}
+	if cfg.Mode == ModeGraph {
+		e.visited = make(map[string]struct{})
+	}
+	e.dfs(state, procs, nil)
+	return e.res, e.err
+}
+
+type explorer struct {
+	cfg        Config
+	maxPaths   int
+	loopBudget int
+	visited    map[string]struct{} // ModeGraph only
+	res        Result
+	err        error
+}
+
+func (e *explorer) dfs(s *State, procs []Proc, schedule []int) {
+	if e.err != nil || e.res.Capped {
+		return
+	}
+
+	if e.visited != nil {
+		key := nodeKey(s, procs)
+		if _, seen := e.visited[key]; seen {
+			return
+		}
+		e.visited[key] = struct{}{}
+		e.res.Paths++
+		if e.res.Paths >= e.maxPaths {
+			e.res.Capped = true
+			return
+		}
+	}
+
+	// Candidates: unfinished processes that are not parked, plus parked
+	// processes whose parking version has been overtaken by a write.
+	var candidates []int
+	unfinished := 0
+	for i := range procs {
+		if procs[i].Done() {
+			continue
+		}
+		unfinished++
+		if procs[i].parked && procs[i].parkedAt == s.Version {
+			continue
+		}
+		candidates = append(candidates, i)
+	}
+
+	if unfinished == 0 {
+		if e.visited == nil {
+			e.res.Paths++
+			if e.res.Paths >= e.maxPaths {
+				e.res.Capped = true
+			}
+			// A complete interleaving: check its history exactly.
+			ok, err := linearizability.CheckExact(linearizability.History{Ops: s.History})
+			if err != nil {
+				e.err = fmt.Errorf("explore: %w", err)
+				return
+			}
+			if !ok {
+				e.violation(Violation{
+					Kind:     "linearizability",
+					Schedule: append([]int(nil), schedule...),
+					Detail:   describeHistory(s.History),
+					History:  append([]linearizability.Op(nil), s.History...),
+				})
+			}
+		}
+		return
+	}
+
+	if len(candidates) == 0 {
+		// Unfinished processes exist but all are spinning without any
+		// possible state change: a blocked execution.
+		e.res.Blocked++
+		if e.res.Blocked == 1 {
+			e.violation(Violation{
+				Kind:     "blocked",
+				Schedule: append([]int(nil), schedule...),
+				Detail:   fmt.Sprintf("%d process(es) spin forever; shared state: %s", unfinished, s.key()),
+			})
+		}
+		return
+	}
+
+	for _, i := range candidates {
+		s2 := s.Clone()
+		procs2 := append([]Proc(nil), procs...)
+		p := &procs2[i]
+		// The held multiset is mutated in place by the Valois machine;
+		// detach it from the parent node's backing array before stepping.
+		p.held = append([]int32(nil), p.held...)
+		if p.parked {
+			p.parked = false
+			p.quiet = 0
+		}
+		// A retry that follows someone else's write is productive progress,
+		// not spinning: spin detection applies only within a window in
+		// which the shared version stays unchanged. The window's anchor is
+		// the local state at its start; revisiting the anchor without any
+		// write means the process is in a deterministic read-only loop.
+		if s2.Version != p.lastSeen {
+			p.quiet = 0
+			p.anchor = p.localKey()
+		}
+		opsBefore := p.cur
+		wrote := p.step(s2)
+		e.res.Events++
+		switch {
+		case wrote || p.cur != opsBefore:
+			p.quiet = 0
+			p.anchor = ""
+		default:
+			p.quiet++
+			if p.localKey() == p.anchor || p.quiet > e.loopBudget {
+				p.parked = true
+				p.parkedAt = s2.Version
+				p.quiet = 0
+				p.anchor = ""
+				e.res.Parked++
+				if e.res.Parked == 1 {
+					e.violation(Violation{
+						Kind:     "parked",
+						Schedule: append(append([]int(nil), schedule...), i),
+						Detail: fmt.Sprintf("process %d spins in a read-only loop and cannot complete until another process runs (pc state %s)",
+							p.ID, p.localKey()),
+					})
+				}
+			}
+		}
+		p.lastSeen = s2.Version
+		if e.cfg.CheckInvariants != nil {
+			if err := e.cfg.CheckInvariants(s2); err != nil {
+				e.violation(Violation{
+					Kind:     "invariant",
+					Schedule: append(append([]int(nil), schedule...), i),
+					Detail:   err.Error(),
+				})
+				continue
+			}
+		}
+		if e.cfg.CheckLedger != nil {
+			if err := e.cfg.CheckLedger(s2, procs2); err != nil {
+				e.violation(Violation{
+					Kind:     "invariant",
+					Schedule: append(append([]int(nil), schedule...), i),
+					Detail:   err.Error(),
+				})
+				continue
+			}
+		}
+		e.dfs(s2, procs2, append(schedule, i))
+		if e.err != nil || e.res.Capped {
+			return
+		}
+	}
+}
+
+func (e *explorer) violation(v Violation) {
+	if len(e.res.Violations) < maxViolations {
+		e.res.Violations = append(e.res.Violations, v)
+	}
+}
+
+// nodeKey serialises shared state plus process machine states for the
+// graph-mode memo. The event clock and history are excluded: they are path
+// properties, which graph mode does not check.
+func nodeKey(s *State, procs []Proc) string {
+	key := s.key()
+	for i := range procs {
+		p := &procs[i]
+		// A park older than the current version has already expired, so it
+		// is encoded as "not parked"; raw version values would make
+		// equivalent states look distinct.
+		parkedNow := p.parked && p.parkedAt == s.Version
+		fresh := p.lastSeen == s.Version // raw versions are monotone; encode relatively
+		key += fmt.Sprintf("|%s q%d k%v f%v a%s", p.localKey(), p.quiet, parkedNow, fresh, p.anchor)
+	}
+	return key
+}
+
+func validateValues(scripts [][]OpSpec) error {
+	seen := make(map[int]bool)
+	for pi, script := range scripts {
+		for oi, op := range script {
+			if !op.Enqueue {
+				continue
+			}
+			if seen[op.Value] {
+				return fmt.Errorf("explore: process %d op %d re-enqueues value %d; values must be unique", pi, oi, op.Value)
+			}
+			seen[op.Value] = true
+		}
+	}
+	return nil
+}
+
+func describeHistory(ops []linearizability.Op) string {
+	// Name the first concrete defect for the report.
+	if vs := linearizability.Check(linearizability.History{Ops: ops}); len(vs) > 0 {
+		return vs[0].String()
+	}
+	return "history rejected by the exact checker"
+}
+
+// CheckTwoLockInvariants verifies section 3.1 for the two-lock queue,
+// whose property 5 the paper itself qualifies: "Tail always points to the
+// last node in the linked list, *unless it is protected by the tail lock*".
+// The model exposes the transient the qualification covers: with the tail
+// lock held between an enqueuer's link and its Tail swing, a dequeuer can
+// advance Head past the old dummy and free it while Tail still references
+// it. No process ever dereferences Tail in that window (the lock holder
+// only overwrites it), so the algorithm is safe — but the unqualified MS
+// property 5 does not hold, and the checker must not demand it.
+func CheckTwoLockInvariants(s *State) error {
+	if s.Head.IsNil() {
+		return fmt.Errorf("property 4: Head is null")
+	}
+	if s.isFree(s.Head.Idx) {
+		return fmt.Errorf("property 4: Head %v points to a free node", s.Head)
+	}
+	chain := map[int32]bool{}
+	idx := s.Head.Idx
+	for hops := 0; ; hops++ {
+		if hops > len(s.Nodes) {
+			return fmt.Errorf("property 1: list from Head does not terminate (cycle)")
+		}
+		if chain[idx] {
+			return fmt.Errorf("property 1: node %d appears twice in the list", idx)
+		}
+		chain[idx] = true
+		if s.isFree(idx) {
+			return fmt.Errorf("property 1: list node %d is on the free list", idx)
+		}
+		next := s.Nodes[idx].Next
+		if next.IsNil() {
+			break
+		}
+		idx = next.Idx
+	}
+	if s.TLock {
+		return nil // Tail is mid-update under its lock; the paper's caveat
+	}
+	if s.Tail.IsNil() {
+		return fmt.Errorf("property 5: Tail is null")
+	}
+	if !chain[s.Tail.Idx] {
+		return fmt.Errorf("property 5: Tail %v not reachable from Head %v with the tail lock free", s.Tail, s.Head)
+	}
+	return nil
+}
+
+// CheckHeadSanity is the weak structural check suitable for the flawed
+// comparators, whose in-flight states legitimately violate the MS
+// invariants (Stone's unlinked suffix detaches Tail from the list). It
+// verifies only that Head points at an allocated (non-free) node and that
+// the list from Head is acyclic — the properties whose violation is
+// unambiguous corruption. Stone's ABA race breaks it.
+func CheckHeadSanity(s *State) error {
+	if s.Head.IsNil() {
+		return fmt.Errorf("head sanity: Head is null")
+	}
+	if s.isFree(s.Head.Idx) {
+		return fmt.Errorf("head sanity: Head %v points to a free node", s.Head)
+	}
+	seen := map[int32]bool{}
+	idx := s.Head.Idx
+	for hops := 0; ; hops++ {
+		if hops > len(s.Nodes) || seen[idx] {
+			return fmt.Errorf("head sanity: cycle in the list from Head")
+		}
+		seen[idx] = true
+		next := s.Nodes[idx].Next
+		if next.IsNil() {
+			return nil
+		}
+		idx = next.Idx
+	}
+}

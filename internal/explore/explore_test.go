@@ -1,0 +1,457 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMSExhaustivePairPerProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~1.4M interleavings; skipped in -short")
+	}
+	// Paths mode: every interleaving's history is checked exactly. The
+	// script sizes are chosen so the full enumeration stays tractable.
+	res, err := Run(Config{
+		Algo: AlgoMS,
+		Scripts: [][]OpSpec{
+			{Enq(1), Deq()},
+			{Enq(2)},
+		},
+		ArenaSize:       4,
+		CheckInvariants: CheckMSInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped; raise MaxPaths")
+	}
+	if res.Paths == 0 {
+		t.Fatal("no interleavings explored")
+	}
+	if res.Blocked != 0 || res.Parked != 0 {
+		t.Fatalf("MS queue blocked=%d parked=%d: %v", res.Blocked, res.Parked, res.Violations)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	t.Logf("explored %d interleavings, %d events", res.Paths, res.Events)
+}
+
+func TestMSExhaustiveThreeProcesses(t *testing.T) {
+	// Graph mode: the state space of three processes is explored with
+	// memoisation, checking the section 3.1 invariants in every reachable
+	// state and confirming no blocked states exist.
+	res, err := Run(Config{
+		Algo: AlgoMS,
+		Mode: ModeGraph,
+		Scripts: [][]OpSpec{
+			{Enq(1)},
+			{Enq(2)},
+			{Deq(), Deq()},
+		},
+		ArenaSize:       4,
+		CheckInvariants: CheckMSInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped")
+	}
+	if res.Blocked != 0 || res.Parked != 0 || len(res.Violations) != 0 {
+		t.Fatalf("blocked=%d parked=%d violations=%v", res.Blocked, res.Parked, res.Violations)
+	}
+	t.Logf("explored %d interleavings, %d events", res.Paths, res.Events)
+}
+
+func TestMSExhaustiveEmptyReports(t *testing.T) {
+	// Dequeues racing an enqueue: empty reports must always be legal.
+	res, err := Run(Config{
+		Algo: AlgoMS,
+		Scripts: [][]OpSpec{
+			{Deq(), Deq()},
+			{Enq(1)},
+		},
+		ArenaSize:       3,
+		CheckInvariants: CheckMSInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocked != 0 || res.Parked != 0 || len(res.Violations) != 0 {
+		t.Fatalf("blocked=%d parked=%d violations=%v", res.Blocked, res.Parked, res.Violations)
+	}
+}
+
+func TestMSExhaustiveTinyArenaForcesReuse(t *testing.T) {
+	// Arena of 2: every enqueue after the first reuses a just-freed slot,
+	// maximising ABA pressure on the counters.
+	res, err := Run(Config{
+		Algo: AlgoMS,
+		Mode: ModeGraph,
+		Scripts: [][]OpSpec{
+			{Enq(1), Deq(), Enq(3), Deq()},
+			{Enq(2), Deq()},
+		},
+		ArenaSize:       3,
+		CheckInvariants: CheckMSInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped")
+	}
+	if res.Blocked != 0 || res.Parked != 0 || len(res.Violations) != 0 {
+		t.Fatalf("blocked=%d parked=%d violations=%v", res.Blocked, res.Parked, res.Violations)
+	}
+	t.Logf("explored %d interleavings, %d events", res.Paths, res.Events)
+}
+
+func TestStoneExplorationFindsNonLinearizableEmpty(t *testing.T) {
+	// The paper: "a slow enqueuer may cause a faster process to enqueue an
+	// item and subsequently observe an empty queue". Process 1 completes
+	// Enq(2) and then dequeues; in some interleaving with process 0's
+	// stalled Enq(1) it must observe the illegal empty.
+	res, err := Run(Config{
+		Algo: AlgoStone,
+		Scripts: [][]OpSpec{
+			{Enq(1)},
+			{Enq(2), Deq()},
+		},
+		ArenaSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped")
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("explored %d interleavings without finding Stone's non-linearizable empty", res.Paths)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == "linearizability" && strings.Contains(v.Detail, "empty") {
+			found = true
+			t.Logf("found: %v", v)
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("violations found, but not the illegal-empty one: %v", res.Violations)
+	}
+}
+
+func TestStoneExplorationFindsABALostItem(t *testing.T) {
+	// The ABA race the paper reports: a slow dequeuer's counter-less CAS
+	// succeeds after its node was dequeued, freed, reused, and became Head
+	// again — re-delivering a dequeued value and corrupting the queue.
+	res, err := Run(Config{
+		Algo: AlgoStone,
+		Scripts: [][]OpSpec{
+			{Deq()},
+			{Enq(1), Deq(), Enq(2), Deq()},
+		},
+		ArenaSize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped")
+	}
+	duplicate := false
+	for _, v := range res.Violations {
+		if v.Kind == "linearizability" {
+			duplicate = true
+			t.Logf("found: %v", v)
+			break
+		}
+	}
+	if !duplicate {
+		t.Fatalf("explored %d interleavings without finding the ABA corruption", res.Paths)
+	}
+}
+
+func TestMSIsImmuneToTheStoneABASchedule(t *testing.T) {
+	// The exact workload that breaks Stone, run under the MS machines in
+	// graph mode: the counters must keep every reachable state sane (in
+	// particular, Head can never be redirected onto a free node, which is
+	// precisely what Stone's stale CAS does) and no state may be blocked.
+	res, err := Run(Config{
+		Algo: AlgoMS,
+		Mode: ModeGraph,
+		Scripts: [][]OpSpec{
+			{Deq()},
+			{Enq(1), Deq(), Enq(2), Deq()},
+		},
+		ArenaSize:       3,
+		CheckInvariants: CheckMSInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped")
+	}
+	if res.Blocked != 0 || res.Parked != 0 || len(res.Violations) != 0 {
+		t.Fatalf("blocked=%d parked=%d violations=%v", res.Blocked, res.Parked, res.Violations)
+	}
+}
+
+func TestMCExplorationFindsBlockedStates(t *testing.T) {
+	// Mellor-Crummey's queue is lock-free but blocking: with the enqueuer
+	// stalled between its tail swap and its link, the dequeuer can only
+	// spin. The explorer must find such states; for the same workload the
+	// MS queue has none.
+	res, err := Run(Config{
+		Algo: AlgoMC,
+		Scripts: [][]OpSpec{
+			{Enq(1)},
+			{Deq()},
+		},
+		ArenaSize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parked == 0 {
+		t.Fatalf("explored %d interleavings without finding MC's blocking window", res.Paths)
+	}
+	// Complete interleavings must still be linearizable.
+	for _, v := range res.Violations {
+		if v.Kind == "linearizability" {
+			t.Fatalf("MC produced a non-linearizable history: %v", v)
+		}
+	}
+
+	msRes, err := Run(Config{
+		Algo: AlgoMS,
+		Scripts: [][]OpSpec{
+			{Enq(1)},
+			{Deq()},
+		},
+		ArenaSize:       3,
+		CheckInvariants: CheckMSInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msRes.Parked != 0 || msRes.Blocked != 0 {
+		t.Fatalf("MS parked=%d blocked=%d in the same workload", msRes.Parked, msRes.Blocked)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Algo: AlgoMS}); err == nil {
+		t.Fatal("want error for empty scripts")
+	}
+	if _, err := Run(Config{Algo: AlgoMS, Scripts: [][]OpSpec{{Enq(1)}}}); err == nil {
+		t.Fatal("want error for zero arena")
+	}
+	_, err := Run(Config{
+		Algo:      AlgoMS,
+		Scripts:   [][]OpSpec{{Enq(1)}, {Enq(1)}},
+		ArenaSize: 4,
+	})
+	if err == nil {
+		t.Fatal("want error for duplicate enqueue values")
+	}
+}
+
+func TestMaxPathsCap(t *testing.T) {
+	res, err := Run(Config{
+		Algo: AlgoMS,
+		Scripts: [][]OpSpec{
+			{Enq(1), Deq()},
+			{Enq(2), Deq()},
+		},
+		ArenaSize: 4,
+		MaxPaths:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Capped {
+		t.Fatal("expected the cap to trigger")
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if AlgoMS.String() != "ms" || AlgoStone.String() != "stone" || AlgoMC.String() != "mc" {
+		t.Fatal("bad algo names")
+	}
+	if !strings.Contains(Algo(9).String(), "9") {
+		t.Fatal("unknown algo should include its number")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if got := NilRef.String(); got != "<nil,0>" {
+		t.Fatalf("NilRef.String() = %q", got)
+	}
+	if got := (Ref{Idx: 2, Cnt: 5}).String(); got != "<2,5>" {
+		t.Fatalf("Ref.String() = %q", got)
+	}
+}
+
+func TestCheckMSInvariantsDetectsCorruption(t *testing.T) {
+	s := NewState(3)
+	InitQueue(s)
+
+	// Sanity: a fresh queue satisfies all properties.
+	if err := CheckMSInvariants(s); err != nil {
+		t.Fatalf("fresh queue: %v", err)
+	}
+
+	// Head pointing into the free list violates property 4/1.
+	broken := s.Clone()
+	broken.Head = Ref{Idx: broken.Free[0]}
+	if err := CheckMSInvariants(broken); err == nil {
+		t.Fatal("head-on-free-list not detected")
+	}
+
+	// A self-loop violates property 1.
+	broken = s.Clone()
+	broken.Nodes[broken.Head.Idx].Next = Ref{Idx: broken.Head.Idx}
+	if err := CheckMSInvariants(broken); err == nil {
+		t.Fatal("cycle not detected")
+	}
+
+	// Tail outside the list violates property 5.
+	broken = s.Clone()
+	idx, _ := broken.alloc()
+	broken.Tail = Ref{Idx: idx}
+	if err := CheckMSInvariants(broken); err == nil {
+		t.Fatal("detached tail not detected")
+	}
+
+	// Null head violates property 4.
+	broken = s.Clone()
+	broken.Head = NilRef
+	if err := CheckMSInvariants(broken); err == nil {
+		t.Fatal("null head not detected")
+	}
+}
+
+func TestTwoLockExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~400k interleavings; skipped in -short")
+	}
+	// Both of the paper's contributions are model-checked: the two-lock
+	// queue must keep the structural invariants and produce only
+	// linearizable histories. Unlike the MS queue it *parks*: a process
+	// stalled while holding a lock leaves the other spinning — the
+	// blocking classification of section 1 — but it never deadlocks (no
+	// operation takes both locks).
+	res, err := Run(Config{
+		Algo: AlgoTwoLock,
+		Scripts: [][]OpSpec{
+			{Enq(1), Deq()},
+			{Enq(2)},
+		},
+		ArenaSize:       4,
+		CheckInvariants: CheckTwoLockInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped")
+	}
+	for _, v := range res.Violations {
+		if v.Kind == "linearizability" || v.Kind == "invariant" {
+			t.Fatalf("two-lock violation: %v", v)
+		}
+	}
+	if res.Parked == 0 {
+		t.Fatal("lock-based queue never parked a waiter; the lock model is not being exercised")
+	}
+	if res.Blocked != 0 {
+		t.Fatalf("deadlock found in the two-lock queue: %v", res.Violations)
+	}
+	t.Logf("explored %d interleavings, %d events, parked=%d", res.Paths, res.Events, res.Parked)
+}
+
+func TestTwoLockGraphInvariants(t *testing.T) {
+	res, err := Run(Config{
+		Algo: AlgoTwoLock,
+		Mode: ModeGraph,
+		Scripts: [][]OpSpec{
+			{Enq(1), Deq()},
+			{Enq(2)},
+			{Deq()},
+		},
+		ArenaSize:       4,
+		CheckInvariants: CheckTwoLockInvariants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("exploration capped")
+	}
+	for _, v := range res.Violations {
+		if v.Kind == "invariant" {
+			t.Fatalf("two-lock invariant violation: %v", v)
+		}
+	}
+	if res.Blocked != 0 {
+		t.Fatalf("deadlock found: %v", res.Violations)
+	}
+	t.Logf("explored %d states, %d events, parked=%d", res.Paths, res.Events, res.Parked)
+}
+
+func TestCheckHeadSanity(t *testing.T) {
+	s := NewState(3)
+	InitQueue(s)
+	if err := CheckHeadSanity(s); err != nil {
+		t.Fatalf("fresh queue: %v", err)
+	}
+
+	broken := s.Clone()
+	broken.Head = NilRef
+	if err := CheckHeadSanity(broken); err == nil {
+		t.Fatal("null head not detected")
+	}
+
+	broken = s.Clone()
+	broken.Head = Ref{Idx: broken.Free[0]}
+	if err := CheckHeadSanity(broken); err == nil {
+		t.Fatal("head on the free list not detected")
+	}
+
+	broken = s.Clone()
+	broken.Nodes[broken.Head.Idx].Next = Ref{Idx: broken.Head.Idx}
+	if err := CheckHeadSanity(broken); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestCheckTwoLockInvariantsCaveat(t *testing.T) {
+	// With the tail lock free, a detached Tail is a violation; with it
+	// held, the same state is the legitimate mid-update transient.
+	s := NewState(4)
+	InitQueue(s)
+	idx, _ := s.alloc()
+	s.Tail = Ref{Idx: idx} // points at an allocated node outside the list
+
+	if err := CheckTwoLockInvariants(s); err == nil {
+		t.Fatal("detached tail with lock free not detected")
+	}
+	s.TLock = true
+	if err := CheckTwoLockInvariants(s); err != nil {
+		t.Fatalf("lock-held transient wrongly rejected: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePaths.String() != "paths" || ModeGraph.String() != "graph" {
+		t.Fatal("bad mode names")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatalf("unknown mode = %q", Mode(9).String())
+	}
+}

@@ -1,0 +1,194 @@
+package explore
+
+import (
+	"testing"
+
+	"msqueue/internal/baseline"
+	"msqueue/internal/core"
+	"msqueue/internal/flawed"
+	"msqueue/internal/linearizability"
+)
+
+// TestModelMatchesImplementationSequentially cross-validates the model
+// against the real tagged implementation: the same single-process script
+// must produce the same sequence of dequeue results in both. This guards
+// the model's fidelity — a model that diverges from the code it abstracts
+// proves nothing about that code.
+func TestModelMatchesImplementationSequentially(t *testing.T) {
+	scripts := [][]OpSpec{
+		{Deq()},
+		{Enq(1), Deq(), Deq()},
+		{Enq(1), Enq(2), Deq(), Enq(3), Deq(), Deq(), Deq()},
+		{Enq(1), Deq(), Enq(2), Deq(), Enq(3), Deq()}, // reuse-heavy
+		{Enq(1), Enq(2), Enq(3), Deq(), Deq(), Enq(4), Deq(), Deq()},
+	}
+	for si, script := range scripts {
+		// Model run: one process, stepped to completion deterministically.
+		s := NewState(8)
+		InitQueue(s)
+		p := Proc{ID: 0, Algo: AlgoMS, Ops: script}
+		for !p.Done() {
+			p.step(s)
+		}
+		var modelResults []linearizability.Op
+		modelResults = append(modelResults, s.History...)
+
+		// Implementation run: the real tagged queue on the same script.
+		q := core.NewMSTagged(7)
+		var implResults []linearizability.Op
+		for _, op := range script {
+			if op.Enqueue {
+				q.Enqueue(uint64(op.Value))
+				implResults = append(implResults, linearizability.Op{Kind: linearizability.Enq, Value: op.Value})
+				continue
+			}
+			v, ok := q.Dequeue()
+			kind := linearizability.Deq
+			if !ok {
+				kind = linearizability.DeqEmpty
+				v = 0
+			}
+			implResults = append(implResults, linearizability.Op{Kind: kind, Value: int(v)})
+		}
+
+		if len(modelResults) != len(implResults) {
+			t.Fatalf("script %d: model completed %d ops, implementation %d", si, len(modelResults), len(implResults))
+		}
+		for i := range implResults {
+			m, r := modelResults[i], implResults[i]
+			if m.Kind != r.Kind || m.Value != r.Value {
+				t.Fatalf("script %d op %d: model %v(%d), implementation %v(%d)",
+					si, i, m.Kind, m.Value, r.Kind, r.Value)
+			}
+		}
+	}
+}
+
+// TestStoneModelMatchesImplementationSequentially does the same for the
+// Stone machines (sequentially Stone is a correct queue, so the comparison
+// is meaningful).
+func TestStoneModelMatchesImplementationSequentially(t *testing.T) {
+	script := []OpSpec{Enq(1), Enq(2), Deq(), Enq(3), Deq(), Deq(), Deq()}
+
+	s := NewState(8)
+	InitQueue(s)
+	p := Proc{ID: 0, Algo: AlgoStone, Ops: script}
+	for !p.Done() {
+		p.step(s)
+	}
+
+	q := flawed.NewStoneTagged(7)
+	for i, op := range script {
+		if op.Enqueue {
+			q.Enqueue(uint64(op.Value))
+			continue
+		}
+		v, ok := q.Dequeue()
+		m := s.History[i]
+		switch {
+		case !ok && m.Kind != linearizability.DeqEmpty:
+			t.Fatalf("op %d: implementation empty, model %v(%d)", i, m.Kind, m.Value)
+		case ok && (m.Kind != linearizability.Deq || m.Value != int(v)):
+			t.Fatalf("op %d: implementation %d, model %v(%d)", i, v, m.Kind, m.Value)
+		}
+	}
+}
+
+// TestModelAllocationOrderMatchesArena pins the free-list abstraction: the
+// model must hand out and recycle node indices in the same LIFO order as
+// internal/arena, or reuse-dependent schedules would diverge between model
+// and implementation.
+func TestModelAllocationOrderMatchesArena(t *testing.T) {
+	s := NewState(3)
+	a1, _ := s.alloc()
+	a2, _ := s.alloc()
+	if a1 != 0 || a2 != 1 {
+		t.Fatalf("initial allocation order = %d,%d, want 0,1", a1, a2)
+	}
+	s.freeNode(a1)
+	s.freeNode(a2)
+	b1, _ := s.alloc()
+	if b1 != a2 {
+		t.Fatalf("LIFO reuse: got %d, want the last-freed %d", b1, a2)
+	}
+	b2, _ := s.alloc()
+	if b2 != a1 {
+		t.Fatalf("LIFO reuse: got %d, want %d", b2, a1)
+	}
+	b3, _ := s.alloc()
+	if b3 != 2 {
+		t.Fatalf("third allocation = %d, want the untouched slot 2", b3)
+	}
+	if _, ok := s.alloc(); ok {
+		t.Fatal("allocation succeeded on an exhausted model arena")
+	}
+}
+
+// TestMCModelMatchesImplementationSequentially cross-validates the MC
+// machine against the real implementation on single-process scripts.
+func TestMCModelMatchesImplementationSequentially(t *testing.T) {
+	script := []OpSpec{Deq(), Enq(1), Enq(2), Deq(), Deq(), Deq(), Enq(3), Deq()}
+
+	s := NewState(8) // MC never frees; size for dummy + all enqueues
+	InitQueue(s)
+	p := Proc{ID: 0, Algo: AlgoMC, Ops: script}
+	for !p.Done() {
+		p.step(s)
+	}
+
+	q := baseline.NewMC[int]()
+	for i, op := range script {
+		if op.Enqueue {
+			q.Enqueue(op.Value)
+			continue
+		}
+		v, ok := q.Dequeue()
+		m := s.History[i]
+		switch {
+		case !ok && m.Kind != linearizability.DeqEmpty:
+			t.Fatalf("op %d: implementation empty, model %v(%d)", i, m.Kind, m.Value)
+		case ok && (m.Kind != linearizability.Deq || m.Value != v):
+			t.Fatalf("op %d: implementation %d, model %v(%d)", i, v, m.Kind, m.Value)
+		}
+	}
+}
+
+// TestValoisModelMatchesImplementationSequentially cross-validates the
+// Valois machine (including its reference-count bookkeeping) against the
+// real implementation: same dequeue results, and the same quiescent arena
+// occupancy (one dummy node) after a full drain.
+func TestValoisModelMatchesImplementationSequentially(t *testing.T) {
+	script := []OpSpec{Enq(1), Enq(2), Deq(), Enq(3), Deq(), Deq(), Deq()}
+
+	s := NewState(6)
+	InitValoisQueue(s)
+	p := Proc{ID: 0, Algo: AlgoValois, Ops: script}
+	for !p.Done() {
+		p.step(s)
+	}
+	if err := CheckValoisLedger(s, []Proc{p}); err != nil {
+		t.Fatalf("final ledger: %v", err)
+	}
+	if free := len(s.Free); free != len(s.Nodes)-1 {
+		t.Fatalf("model has %d free nodes of %d, want all but the dummy", free, len(s.Nodes))
+	}
+
+	q := baseline.NewValois(6)
+	for i, op := range script {
+		if op.Enqueue {
+			q.Enqueue(uint64(op.Value))
+			continue
+		}
+		v, ok := q.Dequeue()
+		m := s.History[i]
+		switch {
+		case !ok && m.Kind != linearizability.DeqEmpty:
+			t.Fatalf("op %d: implementation empty, model %v(%d)", i, m.Kind, m.Value)
+		case ok && (m.Kind != linearizability.Deq || m.Value != int(v)):
+			t.Fatalf("op %d: implementation %d, model %v(%d)", i, v, m.Kind, m.Value)
+		}
+	}
+	if got := q.Arena().InUse(); got != 1 {
+		t.Fatalf("implementation occupancy after drain = %d, want 1", got)
+	}
+}

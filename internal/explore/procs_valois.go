@@ -1,0 +1,410 @@
+package explore
+
+import (
+	"fmt"
+
+	"msqueue/internal/linearizability"
+)
+
+// AlgoValois is the model of internal/baseline's Valois queue, including
+// the corrected reference-counting discipline (SafeRead's
+// increment-only-if-positive, paired releases, cascading reclamation).
+// Exploring it validates the discipline itself: CheckValoisLedger verifies,
+// in every reachable state, that each node's counter equals exactly the
+// structural references on it (Head, Tail, a live predecessor's link) plus
+// the references processes currently hold — so a leak, a lost decrement or
+// a double-free is found as an invariant violation rather than a flaky
+// stress failure.
+const AlgoValois Algo = 99
+
+// Program counters of the Valois machine. SafeRead is three events (read
+// the word, increment-if-positive, validate the word); release is one event
+// per node of the cascade.
+const (
+	vEnqAlloc pc = 100 + iota
+	vEnqReadTailWord
+	vEnqIncTail
+	vEnqValidateTail
+	vEnqReadNext
+	vEnqIncProvisional
+	vEnqCASNext
+	vEnqUndoProvisional
+	vEnqWalkReadNextWord
+	vEnqWalkInc
+	vEnqWalkValidate
+	vEnqAdvReadTail
+	vEnqAdvInc
+	vEnqAdvCAS
+	vEnqAdvUndo
+	vEnqReleaseT
+	vEnqReleaseN
+
+	vDeqReadHeadWord
+	vDeqIncHead
+	vDeqValidateHead
+	vDeqReadNextWord
+	vDeqIncNext
+	vDeqValidateNext
+	vDeqEmptyRelease
+	vDeqIncProvisional
+	vDeqCASHead
+	vDeqUndoProvisional
+	vDeqReleaseOldHead
+	vDeqReadValue
+	vDeqReleaseNextTemp
+	vDeqReleaseHeadTemp
+	vDeqFailReleaseNext
+	vDeqFailReleaseHead
+
+	vRelease // shared cascade subroutine; returns to p.retPC
+)
+
+// stepValois executes one event of the Valois machine. It is called from
+// Proc.step for AlgoValois.
+func (p *Proc) stepValois(s *State, now int64) {
+	switch p.pc {
+	// --- enqueue ---
+	case vEnqAlloc:
+		idx, ok := s.alloc()
+		if !ok {
+			break // spin on allocation
+		}
+		p.node = idx
+		s.Nodes[idx].Value = p.Ops[p.cur].Value
+		s.Nodes[idx].Refct = 1 // the allocating process's reference
+		p.hold(Ref{Idx: idx})
+		p.pc = vEnqReadTailWord
+
+	// SafeRead(&Q->Tail) into p.tail.
+	case vEnqReadTailWord:
+		p.target = s.Tail
+		p.pc = vEnqIncTail
+	case vEnqIncTail:
+		if s.Nodes[p.target.Idx].Refct <= 0 {
+			p.pc = vEnqReadTailWord // node dying; word must be changing
+			break
+		}
+		s.Nodes[p.target.Idx].Refct++
+		s.wrote()
+		p.hold(p.target)
+		p.pc = vEnqValidateTail
+	case vEnqValidateTail:
+		if s.Tail == p.target {
+			p.tail = p.target
+			p.pc = vEnqReadNext
+			break
+		}
+		// Validation failed: release the reference we safely acquired.
+		p.releaseStart(p.target, vEnqReadTailWord)
+
+	case vEnqReadNext:
+		p.next = s.Nodes[p.tail.Idx].Next
+		if p.next.IsNil() {
+			p.pc = vEnqIncProvisional
+		} else {
+			p.pc = vEnqWalkReadNextWord
+		}
+	case vEnqIncProvisional:
+		// The link we are about to install will hold a reference.
+		s.Nodes[p.node].Refct++
+		s.wrote()
+		p.hold(Ref{Idx: p.node})
+		p.pc = vEnqCASNext
+	case vEnqCASNext:
+		if s.casNext(p.tail.Idx, p.next, Ref{Idx: p.node, Cnt: p.next.Cnt + 1}) {
+			p.unhold(Ref{Idx: p.node}) // now owned by the link
+			p.pc = vEnqAdvReadTail
+		} else {
+			p.pc = vEnqUndoProvisional
+		}
+	case vEnqUndoProvisional:
+		s.Nodes[p.node].Refct--
+		s.wrote()
+		p.unhold(Ref{Idx: p.node})
+		p.pc = vEnqReadNext
+
+	// Walk one hop: SafeRead(&tail->next) into p.next, then advance.
+	case vEnqWalkReadNextWord:
+		p.target = s.Nodes[p.tail.Idx].Next
+		if p.target.IsNil() {
+			p.pc = vEnqReadNext // link changed back? re-assess
+			break
+		}
+		p.pc = vEnqWalkInc
+	case vEnqWalkInc:
+		if s.Nodes[p.target.Idx].Refct <= 0 {
+			p.pc = vEnqWalkReadNextWord
+			break
+		}
+		s.Nodes[p.target.Idx].Refct++
+		s.wrote()
+		p.hold(p.target)
+		p.pc = vEnqWalkValidate
+	case vEnqWalkValidate:
+		if s.Nodes[p.tail.Idx].Next == p.target {
+			p.walk = p.target
+			p.walked = true
+			p.pc = vEnqAdvReadTail
+			break
+		}
+		p.releaseStart(p.target, vEnqWalkReadNextWord)
+
+	// advanceTail(cur = p.tail, to = p.walk or the new node).
+	case vEnqAdvReadTail:
+		p.adv = s.Tail
+		to := p.advanceTarget()
+		if p.adv.Idx != p.tail.Idx {
+			p.pc = p.afterAdvance(to)
+			break
+		}
+		p.pc = vEnqAdvInc
+	case vEnqAdvInc:
+		to := p.advanceTarget()
+		s.Nodes[to.Idx].Refct++ // provisional Tail reference
+		s.wrote()
+		p.hold(to)
+		p.pc = vEnqAdvCAS
+	case vEnqAdvCAS:
+		to := p.advanceTarget()
+		if s.casTail(p.adv, Ref{Idx: to.Idx, Cnt: p.adv.Cnt + 1}, true) {
+			p.unhold(to) // now owned by the Tail word
+			// We inherited Tail's old reference on p.tail's node.
+			p.hold(Ref{Idx: p.tail.Idx})
+			p.releaseStart(Ref{Idx: p.tail.Idx}, p.afterAdvance(to))
+			break
+		}
+		p.pc = vEnqAdvUndo
+	case vEnqAdvUndo:
+		to := p.advanceTarget()
+		s.Nodes[to.Idx].Refct--
+		s.wrote()
+		p.unhold(to)
+		p.pc = p.afterAdvance(to)
+
+	case vEnqReleaseT:
+		// Done linking (or walked a hop): drop the temp on the old tail and
+		// either continue the walk from the new node or finish.
+		if p.walked {
+			// continue walking: the walk target becomes the new tail hold
+			p.walked = false
+			old := p.tail
+			p.tail = p.walk
+			p.releaseStart(old, vEnqReadNext)
+			break
+		}
+		p.releaseStart(p.tail, vEnqReleaseN)
+	case vEnqReleaseN:
+		node := p.node
+		p.completeValois(s, linearizability.Enq, p.Ops[p.cur].Value, now)
+		p.releaseStart(Ref{Idx: node}, pcIdle)
+
+	// --- dequeue ---
+	// SafeRead(&Q->Head) into p.head.
+	case vDeqReadHeadWord:
+		p.target = s.Head
+		p.pc = vDeqIncHead
+	case vDeqIncHead:
+		if s.Nodes[p.target.Idx].Refct <= 0 {
+			p.pc = vDeqReadHeadWord
+			break
+		}
+		s.Nodes[p.target.Idx].Refct++
+		s.wrote()
+		p.hold(p.target)
+		p.pc = vDeqValidateHead
+	case vDeqValidateHead:
+		if s.Head == p.target {
+			p.head = p.target
+			p.pc = vDeqReadNextWord
+			break
+		}
+		p.releaseStart(p.target, vDeqReadHeadWord)
+
+	// SafeRead(&head->next) into p.next.
+	case vDeqReadNextWord:
+		p.target = s.Nodes[p.head.Idx].Next
+		if p.target.IsNil() {
+			p.pc = vDeqEmptyRelease
+			break
+		}
+		p.pc = vDeqIncNext
+	case vDeqIncNext:
+		if s.Nodes[p.target.Idx].Refct <= 0 {
+			p.pc = vDeqReadNextWord
+			break
+		}
+		s.Nodes[p.target.Idx].Refct++
+		s.wrote()
+		p.hold(p.target)
+		p.pc = vDeqValidateNext
+	case vDeqValidateNext:
+		if s.Nodes[p.head.Idx].Next == p.target {
+			p.next = p.target
+			p.pc = vDeqIncProvisional
+			break
+		}
+		p.releaseStart(p.target, vDeqReadNextWord)
+
+	case vDeqEmptyRelease:
+		head := p.head
+		p.completeValois(s, linearizability.DeqEmpty, 0, now)
+		p.releaseStart(head, pcIdle)
+
+	case vDeqIncProvisional:
+		s.Nodes[p.next.Idx].Refct++ // the reference Head will hold
+		s.wrote()
+		p.hold(p.next)
+		p.pc = vDeqCASHead
+	case vDeqCASHead:
+		if s.casHead(p.head, Ref{Idx: p.next.Idx, Cnt: p.head.Cnt + 1}, true) {
+			p.unhold(p.next) // now owned by the Head word
+			// Inherit Head's old reference on the old dummy.
+			p.hold(Ref{Idx: p.head.Idx})
+			p.pc = vDeqReleaseOldHead
+		} else {
+			p.pc = vDeqUndoProvisional
+		}
+	case vDeqUndoProvisional:
+		s.Nodes[p.next.Idx].Refct--
+		s.wrote()
+		p.unhold(p.next)
+		p.pc = vDeqFailReleaseNext
+	case vDeqFailReleaseNext:
+		p.releaseStart(p.next, vDeqFailReleaseHead)
+	case vDeqFailReleaseHead:
+		p.releaseStart(p.head, vDeqReadHeadWord)
+
+	case vDeqReleaseOldHead:
+		p.releaseStart(Ref{Idx: p.head.Idx}, vDeqReadValue)
+	case vDeqReadValue:
+		p.value = s.Nodes[p.next.Idx].Value
+		p.pc = vDeqReleaseNextTemp
+	case vDeqReleaseNextTemp:
+		p.releaseStart(p.next, vDeqReleaseHeadTemp)
+	case vDeqReleaseHeadTemp:
+		head := p.head
+		value := p.value
+		p.completeValois(s, linearizability.Deq, value, now)
+		p.releaseStart(head, pcIdle)
+
+	// --- release cascade: one event per node ---
+	case vRelease:
+		n := &s.Nodes[p.relCur.Idx]
+		n.Refct--
+		s.wrote()
+		p.unhold(p.relCur)
+		if n.Refct != 0 {
+			p.pc = p.retPC
+			break
+		}
+		next := n.Next
+		s.freeNode(p.relCur.Idx)
+		if next.IsNil() {
+			p.pc = p.retPC
+			break
+		}
+		// Inherit the freed node's link reference on its successor and
+		// release it in the next cascade event.
+		p.relCur = Ref{Idx: next.Idx}
+		p.hold(p.relCur)
+
+	default:
+		panic(fmt.Sprintf("explore: valois process %d at impossible pc %d", p.ID, p.pc))
+	}
+}
+
+// advanceTarget returns the node the current advanceTail call is swinging
+// Tail towards: the freshly linked node, or the walk target.
+func (p *Proc) advanceTarget() Ref {
+	if p.walked {
+		return p.walk
+	}
+	return Ref{Idx: p.node}
+}
+
+// afterAdvance returns where the machine goes once the advanceTail attempt
+// (for the given target) is over.
+func (p *Proc) afterAdvance(Ref) pc { return vEnqReleaseT }
+
+// releaseStart begins a release cascade for r and sets the return pc.
+func (p *Proc) releaseStart(r Ref, ret pc) {
+	p.relCur = Ref{Idx: r.Idx}
+	p.retPC = ret
+	p.pc = vRelease
+}
+
+// completeValois records the op like complete but leaves the pc to the
+// caller (which still has releases to run before going idle).
+func (p *Proc) completeValois(s *State, kind linearizability.Kind, value int, now int64) {
+	if !s.NoHistory {
+		s.History = append(s.History, linearizability.Op{
+			Process: p.ID,
+			Kind:    kind,
+			Value:   value,
+			Invoke:  p.invoked,
+			Return:  now,
+		})
+	}
+	p.cur++
+}
+
+// hold records that the process owns one counted reference on r's node.
+func (p *Proc) hold(r Ref) {
+	p.held = append(p.held, r.Idx)
+}
+
+// unhold drops one recorded reference on r's node.
+func (p *Proc) unhold(r Ref) {
+	for i := len(p.held) - 1; i >= 0; i-- {
+		if p.held[i] == r.Idx {
+			p.held = append(p.held[:i], p.held[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("explore: process %d releases a reference it does not hold on node %d", p.ID, r.Idx))
+}
+
+// CheckValoisLedger verifies the reference-counting ledger across the whole
+// system: every node's counter must equal the structural references on it
+// (Head, Tail, and each link from a non-free node) plus the references
+// processes currently hold; free nodes must have a zero counter. It needs
+// the process states, so it is wired through Config.CheckLedger.
+func CheckValoisLedger(s *State, procs []Proc) error {
+	expected := make([]int, len(s.Nodes))
+	if !s.Head.IsNil() {
+		expected[s.Head.Idx]++
+	}
+	if !s.Tail.IsNil() {
+		expected[s.Tail.Idx]++
+	}
+	for i := range s.Nodes {
+		if s.isFree(int32(i)) {
+			continue // links from free nodes were released by the cascade
+		}
+		if next := s.Nodes[i].Next; !next.IsNil() {
+			expected[next.Idx]++
+		}
+	}
+	for pi := range procs {
+		for _, idx := range procs[pi].held {
+			expected[idx]++
+		}
+	}
+	for i := range s.Nodes {
+		if s.Nodes[i].Refct != expected[i] {
+			return fmt.Errorf("ledger: node %d has refct %d, expected %d (state %s)",
+				i, s.Nodes[i].Refct, expected[i], s.key())
+		}
+		if s.isFree(int32(i)) && s.Nodes[i].Refct != 0 {
+			return fmt.Errorf("ledger: free node %d has refct %d", i, s.Nodes[i].Refct)
+		}
+	}
+	return nil
+}
+
+// InitValoisQueue is InitQueue for the Valois machine: the dummy starts
+// with two references (Head and Tail).
+func InitValoisQueue(s *State) {
+	InitQueue(s)
+	s.Nodes[s.Head.Idx].Refct = 2
+}

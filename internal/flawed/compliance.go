@@ -1,0 +1,9 @@
+package flawed
+
+import "msqueue/internal/queue"
+
+// Compile-time checks; flawed or not, the comparators speak the contract.
+var (
+	_ queue.Queue[int]      = (*Stone[int])(nil)
+	_ queue.Bounded[uint64] = (*StoneTagged)(nil)
+)

@@ -1,0 +1,195 @@
+// Package flawed contains deliberately incorrect comparators whose defects
+// the paper reports discovering experimentally (section 1). They exist so
+// that this reproduction's checkers can *find* the published races, and so
+// the contrast with the counter-protected MS queue is demonstrable:
+//
+//   - Stone's 1990 queue [18] is "lock-free but non-linearizable ... a slow
+//     enqueuer may cause a faster process to enqueue an item and
+//     subsequently observe an empty queue", and has "a race condition in
+//     which a certain interleaving of a slow dequeue with faster enqueues
+//     and dequeues by other process(es) can cause an enqueued item to be
+//     lost permanently".
+//
+// Do not use anything in this package as a real queue.
+package flawed
+
+import (
+	"sync/atomic"
+
+	"msqueue/internal/arena"
+	"msqueue/internal/inject"
+	"msqueue/internal/pad"
+)
+
+// Trace points exposed by StoneTagged for the directed race tests.
+const (
+	// PointStoneAfterSwing is the window between an enqueuer's successful
+	// CAS on Tail and the store that links the predecessor to its node. A
+	// process stalled here makes the queue's suffix invisible: dequeuers
+	// observe an empty queue even though later enqueues have completed —
+	// the non-linearizability the paper describes.
+	PointStoneAfterSwing inject.Point = "S:after-swing-before-link"
+	// PointStoneBeforeHeadCAS is the window between a dequeuer's reads of
+	// Head and Head->next and its CAS on Head. A process stalled here long
+	// enough for its node to be dequeued, freed, reused and become Head
+	// again will succeed a CAS it must not: the ABA that loses items.
+	PointStoneBeforeHeadCAS inject.Point = "S:before-head-cas"
+)
+
+// Stone is a garbage-collected reconstruction of Stone's 1990 queue:
+// enqueue claims its position with a CAS on Tail and only then links its
+// node to the predecessor. The link window makes it non-linearizable (a
+// dequeuer sees "empty" past an unlinked suffix) — observable even with a
+// GC. The lost-item ABA additionally needs memory reuse; see StoneTagged.
+type Stone[T any] struct {
+	head atomic.Pointer[stNode[T]]
+	_    pad.Line
+	tail atomic.Pointer[stNode[T]]
+	_    pad.Line
+
+	tr inject.Tracer
+}
+
+type stNode[T any] struct {
+	value T
+	next  atomic.Pointer[stNode[T]]
+}
+
+// NewStone returns an empty queue with a dummy node.
+func NewStone[T any]() *Stone[T] {
+	q := &Stone[T]{}
+	dummy := &stNode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before the
+// queue is shared between goroutines.
+func (q *Stone[T]) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// Enqueue appends v: swing Tail first, link second. The window between the
+// two is the algorithm's defect.
+func (q *Stone[T]) Enqueue(v T) {
+	n := &stNode[T]{value: v}
+	for {
+		t := q.tail.Load()
+		if q.tail.CompareAndSwap(t, n) {
+			if q.tr != nil {
+				q.tr.At(PointStoneAfterSwing)
+			}
+			t.next.Store(n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the head value. It reports "empty" whenever
+// Head's next pointer is nil — which, past an unlinked suffix, is a
+// non-linearizable answer.
+func (q *Stone[T]) Dequeue() (T, bool) {
+	for {
+		h := q.head.Load()
+		next := h.next.Load()
+		if next == nil {
+			var zero T
+			return zero, false
+		}
+		v := next.value
+		if q.tr != nil {
+			q.tr.At(PointStoneBeforeHeadCAS)
+		}
+		if q.head.CompareAndSwap(h, next) {
+			return v, true
+		}
+	}
+}
+
+// StoneTagged is the same algorithm over a bounded arena with node reuse
+// and — crucially — *no modification counters* on Head: the configuration
+// in which the paper's experiments lost items. A dequeuer that stalls
+// between reading Head/next and its CAS can succeed after Head has moved
+// away and come back to the same (reused) node: the CAS redirects Head onto
+// a node that has since been freed, detaching every live item behind it.
+// The directed test in this package reproduces the loss deterministically;
+// the identical interleaving against core.MSTagged fails the stale CAS
+// because of the counters.
+type StoneTagged struct {
+	a *arena.Arena
+
+	head arena.Word
+	_    pad.Line
+	tail arena.Word
+	_    pad.Line
+
+	tr inject.Tracer
+}
+
+// NewStoneTagged returns an empty tagged queue with room for capacity items.
+func NewStoneTagged(capacity int) *StoneTagged {
+	q := &StoneTagged{a: arena.New(capacity + 1)}
+	dummy, ok := q.a.Alloc()
+	if !ok {
+		panic("flawed: fresh arena has no free node")
+	}
+	q.head.Store(arena.Pack(dummy.Index(), 0))
+	q.tail.Store(arena.Pack(dummy.Index(), 0))
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before the
+// queue is shared between goroutines.
+func (q *StoneTagged) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// Arena exposes the node arena for the race tests.
+func (q *StoneTagged) Arena() *arena.Arena { return q.a }
+
+// Enqueue appends v, spinning if the arena is momentarily exhausted.
+func (q *StoneTagged) Enqueue(v uint64) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// TryEnqueue appends v and reports whether a free node was available.
+func (q *StoneTagged) TryEnqueue(v uint64) bool {
+	ref, ok := q.a.Alloc()
+	if !ok {
+		return false
+	}
+	q.a.Get(ref).Value.Store(v)
+	for {
+		t := q.tail.Load()
+		// No counter discipline: the new Tail value reuses count 0 forever.
+		if q.tail.CAS(t, arena.Pack(ref.Index(), 0)) {
+			if q.tr != nil {
+				q.tr.At(PointStoneAfterSwing)
+			}
+			tn := q.a.Get(t)
+			old := tn.Next.Load()
+			tn.Next.Store(arena.Pack(ref.Index(), old.Count()+1))
+			return true
+		}
+	}
+}
+
+// Dequeue removes and returns the head value, or reports false when the
+// (visible prefix of the) queue is empty.
+func (q *StoneTagged) Dequeue() (uint64, bool) {
+	for {
+		h := q.head.Load()
+		next := q.a.Get(h).Next.Load()
+		if next.IsNil() {
+			return 0, false
+		}
+		v := q.a.Get(next).Value.Load()
+		if q.tr != nil {
+			q.tr.At(PointStoneBeforeHeadCAS)
+		}
+		// The fatal CAS: count is pinned at zero, so Head returning to the
+		// same node index — trivial once nodes are reused — satisfies it.
+		if q.head.CAS(h, arena.Pack(next.Index(), 0)) {
+			q.a.Free(h)
+			return v, true
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"msqueue/internal/algorithms"
+	"msqueue/internal/stats"
+	"msqueue/internal/workload"
+)
+
+// FigureConfig describes the sweep that regenerates one of the paper's
+// figures: net execution time versus processor count, one series per
+// algorithm, at a fixed multiprogramming level.
+type FigureConfig struct {
+	// Number identifies the paper figure (3, 4 or 5); it sets the
+	// multiprogramming level unless ProcsPerProcessor is given explicitly.
+	Number int
+	// ProcsPerProcessor overrides the figure's multiprogramming level.
+	ProcsPerProcessor int
+	// MaxProcessors is the largest processor count swept; the paper's
+	// machine had 12 (one processor was left for the OS in some runs).
+	MaxProcessors int
+	// Pairs is the total enqueue/dequeue pairs per point (paper: 1e6).
+	Pairs int
+	// OtherWork is the inter-operation spin (paper: ~6 µs); see
+	// Config.OtherWork for the zero/negative convention.
+	OtherWork time.Duration
+	// Algorithms selects the contenders; nil selects the paper's six.
+	Algorithms []algorithms.Info
+	// Capacity overrides the bounded queues' node capacity.
+	Capacity int
+	// Repeats runs each point several times and keeps the minimum,
+	// suppressing scheduler noise. Zero means one run.
+	Repeats int
+	// Progress, when non-nil, receives one line per completed point.
+	Progress func(format string, args ...any)
+}
+
+// Figure numbers of the paper mapped to their multiprogramming levels.
+const (
+	Figure3Dedicated       = 3 // one process per processor
+	Figure4TwoPerProcessor = 4
+	Figure5ThreePerProc    = 5
+)
+
+func (cfg *FigureConfig) multiprogramming() (int, error) {
+	if cfg.ProcsPerProcessor > 0 {
+		return cfg.ProcsPerProcessor, nil
+	}
+	switch cfg.Number {
+	case Figure3Dedicated:
+		return 1, nil
+	case Figure4TwoPerProcessor:
+		return 2, nil
+	case Figure5ThreePerProc:
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown figure %d (want 3, 4 or 5)", cfg.Number)
+	}
+}
+
+// RunFigure sweeps processor counts 1..MaxProcessors for every algorithm
+// and returns the resulting curves. It mirrors the paper's Figures 3–5:
+// "net execution time in seconds for one million enqueue/dequeue pairs",
+// which "roughly ... corresponds to the time in microseconds for one
+// enqueue/dequeue pair".
+func RunFigure(cfg FigureConfig) (stats.Figure, error) {
+	m, err := cfg.multiprogramming()
+	if err != nil {
+		return stats.Figure{}, err
+	}
+	maxP := cfg.MaxProcessors
+	if maxP < 1 {
+		maxP = 12 // the paper's SGI Challenge node count
+	}
+	pairs := cfg.Pairs
+	if pairs < 1 {
+		pairs = 1_000_000
+	}
+	algos := cfg.Algorithms
+	if algos == nil {
+		algos = algorithms.Paper()
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+
+	otherWork := cfg.OtherWork
+	if otherWork == 0 {
+		otherWork = workload.DefaultOtherWork
+	} else if otherWork < 0 {
+		otherWork = 0
+	}
+	spinner := workload.Calibrate(otherWork)
+	// Run uses the same zero-means-default convention; re-encode "disabled"
+	// so the net-time subtraction matches the spinner actually used.
+	runOtherWork := otherWork
+	if runOtherWork == 0 {
+		runOtherWork = -1
+	}
+
+	fig := stats.Figure{
+		Title: fmt.Sprintf(
+			"Figure %d: net time for %d enqueue/dequeue pairs, %d process(es) per processor (GOMAXPROCS cap %d)",
+			cfg.Number, pairs, m, runtime.NumCPU()),
+		XLabel: "procs",
+	}
+	for p := 1; p <= maxP; p++ {
+		fig.XS = append(fig.XS, p)
+	}
+	for _, info := range algos {
+		series := stats.Series{Label: info.Display}
+		for p := 1; p <= maxP; p++ {
+			best := time.Duration(0)
+			var lastEmpty int64
+			for rep := 0; rep < repeats; rep++ {
+				res, err := Run(Config{
+					New:               info.New,
+					Processors:        p,
+					ProcsPerProcessor: m,
+					Pairs:             pairs,
+					OtherWork:         runOtherWork,
+					Spinner:           spinner,
+					Capacity:          cfg.Capacity,
+				})
+				if err != nil {
+					return stats.Figure{}, fmt.Errorf("figure %d, %s, p=%d: %w", cfg.Number, info.Name, p, err)
+				}
+				if rep == 0 || res.Net < best {
+					best = res.Net
+				}
+				lastEmpty = res.EmptyDequeues
+			}
+			series.Points = append(series.Points, best)
+			progress("fig%d %-38s p=%-2d net=%-10v empty-deq=%d",
+				cfg.Number, info.Display, p, best.Round(time.Millisecond), lastEmpty)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

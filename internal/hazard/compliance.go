@@ -1,0 +1,6 @@
+package hazard
+
+import "msqueue/internal/queue"
+
+// Compile-time check that the hazard-pointer queue speaks the contract.
+var _ queue.Bounded[uint64] = (*Queue)(nil)

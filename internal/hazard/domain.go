@@ -1,0 +1,154 @@
+// Package hazard implements hazard-pointer safe memory reclamation
+// (Michael, "Safe Memory Reclamation for Dynamic Lock-Free Objects Using
+// Atomic Reads and Writes", PODC 2002) and an MS queue built on it.
+//
+// The paper reproduced by this module defends its compare_and_swaps against
+// the ABA problem with modification counters, and notes the alternative of
+// Valois-style reference counting (whose pathology internal/baseline
+// demonstrates). Hazard pointers are the third point in that design space,
+// published by the same author seven years later: before dereferencing a
+// shared reference, a thread *announces* it in a single-writer hazard slot
+// and re-validates the source; a retired node is only recycled once no
+// announcement covers it. This bounds unreclaimed memory by the number of
+// threads (unlike reference counting) and removes the need for counters on
+// the queue's words (unlike the tagged MS queue) — Queue in this package is
+// the demonstration.
+//
+// Handles are opaque non-zero uint64 values chosen by the client (the queue
+// uses arena-style node indices plus one).
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"msqueue/internal/stack"
+)
+
+// PerRecord is the number of hazard slots each record carries; the MS queue
+// needs at most three live protections (head, tail/next chains).
+const PerRecord = 3
+
+// DefaultScanThreshold is the retired-list length that triggers a scan.
+const DefaultScanThreshold = 8
+
+// Domain manages hazard records and retired handles for one data structure.
+type Domain struct {
+	// free recycles a handle once no hazard slot protects it.
+	free func(uint64)
+
+	threshold int
+
+	// records is the registry of every record ever created; scans read the
+	// hazard slots of all of them. Guarded by mu for append; reads walk the
+	// snapshot slice (append-only).
+	mu      sync.Mutex
+	records []*Record
+
+	// idle holds released records for reuse, so acquisition is O(1) after
+	// warm-up and records (with their leftover retired lists) are never
+	// abandoned. A non-intrusive Treiber stack is required here: records
+	// re-enter the stack repeatedly, and an intrusive link would reintroduce
+	// exactly the ABA this package exists to prevent.
+	idle stack.Stack[*Record]
+}
+
+// Record is a per-thread hazard record: a fixed set of single-writer hazard
+// slots plus the thread's retired list. A Record must be used by one
+// goroutine at a time, between Acquire and Release.
+type Record struct {
+	hp      [PerRecord]atomic.Uint64
+	retired []uint64
+}
+
+// NewDomain creates a domain whose scans call free on reclaimable handles.
+// threshold <= 0 selects DefaultScanThreshold.
+func NewDomain(free func(uint64), threshold int) *Domain {
+	if free == nil {
+		panic("hazard: NewDomain requires a free function")
+	}
+	if threshold <= 0 {
+		threshold = DefaultScanThreshold
+	}
+	return &Domain{free: free, threshold: threshold}
+}
+
+// Acquire returns a record for exclusive use by the calling goroutine.
+func (d *Domain) Acquire() *Record {
+	if r, ok := d.idle.Pop(); ok {
+		return r
+	}
+	r := &Record{}
+	d.mu.Lock()
+	d.records = append(d.records, r)
+	d.mu.Unlock()
+	return r
+}
+
+// Release returns the record. All hazard slots are cleared; any retired
+// handles stay with the record and are reclaimed by later scans.
+func (d *Domain) Release(r *Record) {
+	for i := range r.hp {
+		r.hp[i].Store(0)
+	}
+	d.idle.Push(r)
+}
+
+// Protect announces that the caller is about to dereference h via slot i.
+// The caller must re-validate its source reference *after* Protect returns
+// (the announce-then-validate handshake); only then is the handle safe to
+// dereference until the slot is overwritten or cleared.
+func (r *Record) Protect(i int, h uint64) {
+	r.hp[i].Store(h)
+}
+
+// Clear empties slot i.
+func (r *Record) Clear(i int) {
+	r.hp[i].Store(0)
+}
+
+// Retire marks h as logically deleted; it will be passed to the domain's
+// free function once no hazard slot protects it. Retire may trigger a scan.
+func (d *Domain) Retire(r *Record, h uint64) {
+	r.retired = append(r.retired, h)
+	if len(r.retired) >= d.threshold {
+		d.scan(r)
+	}
+}
+
+// Flush scans the record's retired list immediately, reclaiming whatever is
+// unprotected. It is intended for quiescing (tests, shutdown).
+func (d *Domain) Flush(r *Record) {
+	d.scan(r)
+}
+
+// scan is the reclamation step: snapshot every hazard slot of every record,
+// then free the retired handles not found in the snapshot.
+func (d *Domain) scan(r *Record) {
+	d.mu.Lock()
+	records := d.records
+	d.mu.Unlock()
+
+	protected := make(map[uint64]struct{}, len(records)*PerRecord)
+	for _, rec := range records {
+		for i := range rec.hp {
+			if h := rec.hp[i].Load(); h != 0 {
+				protected[h] = struct{}{}
+			}
+		}
+	}
+
+	kept := r.retired[:0]
+	for _, h := range r.retired {
+		if _, isProtected := protected[h]; isProtected {
+			kept = append(kept, h)
+			continue
+		}
+		d.free(h)
+	}
+	r.retired = kept
+}
+
+// RetiredCount reports how many handles the record still holds; used by
+// tests to verify the bounded-memory property.
+func (r *Record) RetiredCount() int { return len(r.retired) }

@@ -1,0 +1,253 @@
+package hazard_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/algorithms"
+	"msqueue/internal/hazard"
+	"msqueue/internal/inject"
+	"msqueue/internal/queuetest"
+)
+
+func TestDomainProtectPreventsReclamation(t *testing.T) {
+	var freed []uint64
+	d := hazard.NewDomain(func(h uint64) { freed = append(freed, h) }, 100)
+
+	owner := d.Acquire()
+	reader := d.Acquire()
+
+	reader.Protect(0, 7)
+	d.Retire(owner, 7)
+	d.Retire(owner, 8)
+	d.Flush(owner)
+
+	if len(freed) != 1 || freed[0] != 8 {
+		t.Fatalf("freed %v, want only the unprotected 8", freed)
+	}
+	if owner.RetiredCount() != 1 {
+		t.Fatalf("RetiredCount = %d, want 1 (the protected 7)", owner.RetiredCount())
+	}
+
+	reader.Clear(0)
+	d.Flush(owner)
+	if len(freed) != 2 || freed[1] != 7 {
+		t.Fatalf("freed %v after Clear, want 7 reclaimed", freed)
+	}
+	d.Release(owner)
+	d.Release(reader)
+}
+
+func TestDomainReleaseClearsSlots(t *testing.T) {
+	var freed []uint64
+	d := hazard.NewDomain(func(h uint64) { freed = append(freed, h) }, 100)
+	reader := d.Acquire()
+	reader.Protect(0, 5)
+	d.Release(reader) // must clear the announcement
+
+	owner := d.Acquire()
+	d.Retire(owner, 5)
+	d.Flush(owner)
+	if len(freed) != 1 || freed[0] != 5 {
+		t.Fatalf("freed %v: a released record must not keep protecting", freed)
+	}
+}
+
+func TestDomainScanThresholdTriggers(t *testing.T) {
+	var freed int
+	d := hazard.NewDomain(func(uint64) { freed++ }, 4)
+	r := d.Acquire()
+	for h := uint64(1); h <= 16; h++ {
+		d.Retire(r, h)
+	}
+	if freed < 12 {
+		t.Fatalf("freed %d of 16, want automatic scans at the threshold", freed)
+	}
+}
+
+func TestDomainRecordReuse(t *testing.T) {
+	d := hazard.NewDomain(func(uint64) {}, 100)
+	r1 := d.Acquire()
+	d.Release(r1)
+	r2 := d.Acquire()
+	if r1 != r2 {
+		t.Fatal("released record was not reused")
+	}
+}
+
+func TestDomainConcurrentStress(t *testing.T) {
+	// Handles are partitioned per goroutine; each goroutine protects,
+	// retires and releases its own handles while scans run concurrently.
+	// Every handle must be freed exactly once by the end.
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var (
+		mu    sync.Mutex
+		freed = make(map[uint64]int)
+	)
+	d := hazard.NewDomain(func(h uint64) {
+		mu.Lock()
+		freed[h]++
+		mu.Unlock()
+	}, 8)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h := uint64(w*perW + i + 1)
+				r := d.Acquire()
+				r.Protect(0, h)
+				r.Clear(0)
+				d.Retire(r, h)
+				d.Release(r)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Flush all parked retired lists.
+	for i := 0; i < workers+2; i++ {
+		r := d.Acquire()
+		d.Flush(r)
+		defer d.Release(r)
+	}
+
+	if len(freed) != workers*perW {
+		t.Fatalf("freed %d distinct handles, want %d", len(freed), workers*perW)
+	}
+	for h, n := range freed {
+		if n != 1 {
+			t.Fatalf("handle %d freed %d times", h, n)
+		}
+	}
+}
+
+func TestQueueConformance(t *testing.T) {
+	info, err := algorithms.Lookup("ms-hazard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuetest.Run(t, info.New, queuetest.Options{})
+}
+
+func TestQueueNodeReuseIsBounded(t *testing.T) {
+	// The 2002 paper's bound: unreclaimed nodes are limited by records x
+	// threshold, independent of operation count — unlike Valois's scheme.
+	q := hazard.New(16)
+	for round := 0; round < 5000; round++ {
+		if !q.TryEnqueue(uint64(round)) {
+			t.Fatalf("round %d: store exhausted: reclamation is not keeping up", round)
+		}
+		if v, ok := q.Dequeue(); !ok || v != uint64(round) {
+			t.Fatalf("round %d: Dequeue = %d,%v", round, v, ok)
+		}
+	}
+	q.Quiesce()
+	// After quiescing, only the dummy remains.
+	if got := q.InUse(); got != 1 {
+		t.Fatalf("InUse after quiesce = %d, want 1", got)
+	}
+}
+
+func TestQueueConcurrentConservationSmallStore(t *testing.T) {
+	const (
+		procs = 6
+		iters = 3000
+	)
+	q := hazard.New(64)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen = make(map[uint64]int)
+	)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			local := make(map[uint64]int)
+			for i := 0; i < iters; i++ {
+				q.Enqueue(uint64(p*iters + i + 1))
+				if v, ok := q.Dequeue(); ok {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for k, n := range local {
+				seen[k] += n
+			}
+		}(p)
+	}
+	wg.Wait()
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	if len(seen) != procs*iters {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), procs*iters)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+	q.Quiesce()
+	if got := q.InUse(); got != 1 {
+		t.Fatalf("InUse after drain+quiesce = %d, want 1", got)
+	}
+}
+
+// TestStalledReaderPinsBoundedMemory is the counterpart of
+// baseline.TestValoisStalledReaderPinsMemory: under the same
+// stalled-reader scenario that exhausts any finite free list with Valois's
+// reference counting, hazard pointers pin only the announced nodes — the
+// memory bound that made Michael's 2002 scheme the practical successor to
+// both counting approaches.
+func TestStalledReaderPinsBoundedMemory(t *testing.T) {
+	q := hazard.New(64)
+	gate := inject.NewGate(hazard.PointHoldingProtected)
+	q.SetTracer(gate)
+
+	stalled := make(chan struct{})
+	go func() {
+		q.Dequeue() // freezes holding hazard protections on the dummy
+		close(stalled)
+	}()
+	// The gate needs an item in flight for the dequeuer to protect; churn
+	// from here races it there.
+	q.Enqueue(0)
+	<-gate.Entered()
+
+	// Churn far more items than the store holds: occupancy must stay small
+	// and bounded (live + retired-awaiting-scan), never growing with the
+	// operation count.
+	const churn = 4096
+	maxInUse := 0
+	for i := 1; i <= churn; i++ {
+		if !q.TryEnqueue(uint64(i)) {
+			t.Fatalf("store exhausted after %d churned items: stalled reader pinned the store", i)
+		}
+		q.Dequeue()
+		if got := q.InUse(); got > maxInUse {
+			maxInUse = got
+		}
+	}
+	if maxInUse > 2+3*hazard.DefaultScanThreshold {
+		t.Fatalf("occupancy reached %d on a 1-item queue: not bounded", maxInUse)
+	}
+
+	gate.Release()
+	<-stalled
+	q.Quiesce()
+	if got := q.InUse(); got > 2 {
+		t.Fatalf("InUse after release+quiesce = %d, want <= 2", got)
+	}
+}

@@ -1,0 +1,212 @@
+package hazard
+
+import (
+	"sync/atomic"
+
+	"msqueue/internal/arena"
+	"msqueue/internal/inject"
+	"msqueue/internal/pad"
+)
+
+// PointHoldingProtected is the instant in a dequeue at which the process
+// holds validated hazard protections on the head (and its successor). A
+// process stalled here pins *at most those two nodes* — the bounded-memory
+// contrast to Valois's reference counting, where the same stall pins every
+// subsequently enqueued node (see TestStalledReaderPinsBoundedMemory).
+const PointHoldingProtected inject.Point = "HZ:holding-protected"
+
+// Queue is the MS queue with hazard-pointer reclamation instead of
+// modification counters: Head, Tail and the next links are plain
+// (counter-less) words, and the announce-then-validate handshake guarantees
+// that a node a process holds a validated reference to is never recycled
+// under it — so a CAS can never be fooled by reuse, the scenario the
+// tagged variant's counters exist for.
+//
+// Like the other tagged variants it stores uint64 values in a bounded node
+// store; the store's internal free list keeps a counted top word (an
+// allocator, like malloc in the 2002 paper, must defend itself), while
+// every word the *algorithm* CASes is uncounted.
+type Queue struct {
+	nodes []hpNode
+	dom   *Domain
+	tr    inject.Tracer
+
+	_    pad.Line
+	free atomic.Uint64 // tagged (counted) free-list top: allocator-internal
+	_    pad.Line
+	head atomic.Uint64 // handle of the dummy node; uncounted
+	_    pad.Line
+	tail atomic.Uint64 // uncounted
+	_    pad.Line
+}
+
+// hpNode is one slot: handles are index+1, so handle 0 is "null".
+type hpNode struct {
+	value atomic.Uint64
+	next  atomic.Uint64 // successor handle, or 0; doubles as free-list link
+}
+
+// New returns an empty queue able to hold capacity items concurrently. Some
+// extra slots cover the dummy plus nodes retired-but-not-yet-reclaimed
+// (bounded by goroutines × scan threshold).
+func New(capacity int) *Queue {
+	slack := 2 + 4*DefaultScanThreshold
+	q := &Queue{nodes: make([]hpNode, capacity+slack)}
+	q.dom = NewDomain(q.release, 0)
+	// Thread the free list: node i links to i+1.
+	for i := 0; i < len(q.nodes)-1; i++ {
+		q.nodes[i].next.Store(uint64(i + 2))
+	}
+	q.free.Store(uint64(arena.Pack(0, 0)))
+
+	dummy, ok := q.alloc()
+	if !ok {
+		panic("hazard: fresh store has no free node")
+	}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before
+// the queue is shared between goroutines.
+func (q *Queue) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// node resolves a non-zero handle.
+func (q *Queue) node(h uint64) *hpNode { return &q.nodes[h-1] }
+
+// alloc pops a handle from the free list (counted Treiber pop).
+func (q *Queue) alloc() (uint64, bool) {
+	for {
+		top := arena.Ref(q.free.Load())
+		if top.IsNil() {
+			return 0, false
+		}
+		next := q.nodes[top.Index()].next.Load()
+		if q.free.CompareAndSwap(uint64(top), uint64(arena.Pack(int32(next)-1, top.Count()+1))) {
+			h := uint64(top.Index()) + 1
+			q.node(h).next.Store(0)
+			return h, true
+		}
+	}
+}
+
+// release pushes a reclaimed handle back on the free list; it is the
+// domain's free callback, invoked only when no hazard slot protects h.
+func (q *Queue) release(h uint64) {
+	for {
+		top := arena.Ref(q.free.Load())
+		q.node(h).next.Store(uint64(top.Index()) + 1)
+		if q.free.CompareAndSwap(uint64(top), uint64(arena.Pack(int32(h)-1, top.Count()+1))) {
+			return
+		}
+	}
+}
+
+// Enqueue appends v, spinning if the store is momentarily exhausted.
+func (q *Queue) Enqueue(v uint64) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// TryEnqueue appends v and reports whether a free node was available.
+func (q *Queue) TryEnqueue(v uint64) bool {
+	n, ok := q.alloc()
+	if !ok {
+		return false
+	}
+	q.node(n).value.Store(v)
+
+	rec := q.dom.Acquire()
+	defer q.dom.Release(rec)
+	for {
+		t := q.tail.Load()
+		rec.Protect(0, t)
+		if q.tail.Load() != t { // validate the announcement
+			continue
+		}
+		// t is now protected: it cannot be reclaimed, so reading its next
+		// field is safe and the CAS below cannot be an ABA victim.
+		next := q.node(t).next.Load()
+		if q.tail.Load() != t {
+			continue
+		}
+		if next != 0 {
+			q.tail.CompareAndSwap(t, next) // help a lagging tail
+			continue
+		}
+		if q.node(t).next.CompareAndSwap(0, n) {
+			q.tail.CompareAndSwap(t, n)
+			return true
+		}
+	}
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (q *Queue) Dequeue() (uint64, bool) {
+	rec := q.dom.Acquire()
+	defer q.dom.Release(rec)
+	for {
+		h := q.head.Load()
+		rec.Protect(0, h)
+		if q.head.Load() != h {
+			continue
+		}
+		t := q.tail.Load()
+		next := q.node(h).next.Load()
+		rec.Protect(1, next)
+		if q.head.Load() != h {
+			// Head moved: next may no longer be h's successor, and the
+			// protection on it was announced too late to be trusted.
+			continue
+		}
+		if q.tr != nil {
+			q.tr.At(PointHoldingProtected)
+		}
+		if h == t {
+			if next == 0 {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(t, next) // tail is falling behind
+			continue
+		}
+		// next is protected and validated: safe to read even if a racing
+		// dequeuer wins; our CAS will fail and the value is discarded.
+		v := q.node(next).value.Load()
+		if q.head.CompareAndSwap(h, next) {
+			// The old dummy is logically deleted; physically recycled only
+			// once no process announces it.
+			q.dom.Retire(rec, h)
+			return v, true
+		}
+	}
+}
+
+// Quiesce reclaims everything reclaimable now; callers must be quiescent.
+// Tests use it to assert the bounded-memory property.
+func (q *Queue) Quiesce() {
+	rec := q.dom.Acquire()
+	q.dom.Flush(rec)
+	q.dom.Release(rec)
+	// Flush the retired lists parked on idle records too.
+	q.dom.mu.Lock()
+	records := q.dom.records
+	q.dom.mu.Unlock()
+	for _, r := range records {
+		q.dom.scan(r)
+	}
+}
+
+// InUse reports the number of nodes not on the free list (live + retired).
+func (q *Queue) InUse() int {
+	onFree := 0
+	for top := arena.Ref(q.free.Load()); !top.IsNil(); {
+		onFree++
+		next := q.nodes[top.Index()].next.Load()
+		if next == 0 {
+			break
+		}
+		top = arena.Pack(int32(next)-1, 0)
+	}
+	return len(q.nodes) - onFree
+}

@@ -1,0 +1,107 @@
+// Package inject provides labelled pause points for fault-injection tests.
+//
+// The paper's central argument is about what happens when a process is
+// delayed "at an inopportune moment" (preemption, page fault). The queue
+// implementations in this module expose optional trace hooks at the
+// interesting instants of their algorithms (named after the pseudo-code
+// line labels, e.g. "E9:before-cas"). Tests install a Tracer to stall one
+// goroutine at such a point and then observe whether other goroutines still
+// make progress — distinguishing non-blocking algorithms from blocking ones
+// and reproducing the published race conditions deterministically.
+//
+// Hooks are nil in production use; the hot-path cost is one nil check.
+package inject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point identifies an instant inside an algorithm, conventionally
+// "<line-label>:<description>" matching the paper's pseudo-code, e.g.
+// "E7:after-consistency-check".
+type Point string
+
+// Tracer receives control at labelled points of an instrumented algorithm.
+// Implementations may block to simulate a delayed process.
+type Tracer interface {
+	At(p Point)
+}
+
+// Func adapts a function to the Tracer interface.
+type Func func(Point)
+
+// At implements Tracer.
+func (f Func) At(p Point) { f(p) }
+
+// Gate is a one-shot Tracer that stalls the first goroutine reaching a
+// designated point until released, letting a test interleave other
+// operations around the stalled one.
+//
+// Usage:
+//
+//	g := inject.NewGate("E9:before-cas")
+//	q.SetTracer(g)
+//	go func() { q.Enqueue(1); close(done) }()
+//	<-g.Entered()        // the enqueuer is now frozen mid-operation
+//	...                  // drive other goroutines
+//	g.Release()          // let the frozen enqueuer finish
+//	<-done
+type Gate struct {
+	point    Point
+	armed    atomic.Bool
+	entered  chan struct{}
+	released chan struct{}
+}
+
+// NewGate returns an armed Gate for the given point.
+func NewGate(p Point) *Gate {
+	g := &Gate{
+		point:    p,
+		entered:  make(chan struct{}),
+		released: make(chan struct{}),
+	}
+	g.armed.Store(true)
+	return g
+}
+
+// At implements Tracer: the first caller to reach the gate's point blocks
+// until Release; every other call falls through immediately.
+func (g *Gate) At(p Point) {
+	if p != g.point || !g.armed.CompareAndSwap(true, false) {
+		return
+	}
+	close(g.entered)
+	<-g.released
+}
+
+// Entered is closed once a goroutine is stalled at the gate.
+func (g *Gate) Entered() <-chan struct{} { return g.entered }
+
+// Release lets the stalled goroutine continue. It must be called exactly
+// once per gate.
+func (g *Gate) Release() { close(g.released) }
+
+// Counter is a Tracer that counts visits per point; tests use it to assert
+// that an execution actually exercised the intended code path.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[Point]int
+}
+
+// At implements Tracer.
+func (c *Counter) At(p Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counts == nil {
+		c.counts = make(map[Point]int)
+	}
+	c.counts[p]++
+}
+
+// Count reports how many times point p was reached.
+func (c *Counter) Count(p Point) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[p]
+}

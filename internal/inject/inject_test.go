@@ -1,0 +1,100 @@
+package inject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFuncAdapter(t *testing.T) {
+	var got []Point
+	tr := Func(func(p Point) { got = append(got, p) })
+	tr.At("a")
+	tr.At("b")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGateStallsFirstArrival(t *testing.T) {
+	g := NewGate("x")
+	done := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(done)
+	}()
+	<-g.Entered()
+	select {
+	case <-done:
+		t.Fatal("gated goroutine proceeded before Release")
+	case <-time.After(10 * time.Millisecond):
+	}
+	g.Release()
+	<-done
+}
+
+func TestGateIgnoresOtherPoints(t *testing.T) {
+	g := NewGate("x")
+	finished := make(chan struct{})
+	go func() {
+		g.At("y") // different point: must fall through
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(time.Second):
+		t.Fatal("At on a different point blocked")
+	}
+}
+
+func TestGateIsOneShot(t *testing.T) {
+	g := NewGate("x")
+	first := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(first)
+	}()
+	<-g.Entered()
+
+	// A second arrival at the same point must not block.
+	second := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(second)
+	}()
+	select {
+	case <-second:
+	case <-time.After(time.Second):
+		t.Fatal("second arrival blocked on a one-shot gate")
+	}
+
+	g.Release()
+	<-first
+	// After release, further arrivals fall through too.
+	g.At("x")
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.At("hot")
+			}
+			c.At("once-per-worker")
+		}()
+	}
+	wg.Wait()
+	if got := c.Count("hot"); got != 800 {
+		t.Fatalf("Count(hot) = %d, want 800", got)
+	}
+	if got := c.Count("once-per-worker"); got != 8 {
+		t.Fatalf("Count(once-per-worker) = %d, want 8", got)
+	}
+	if got := c.Count("never"); got != 0 {
+		t.Fatalf("Count(never) = %d, want 0", got)
+	}
+}

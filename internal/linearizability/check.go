@@ -1,0 +1,243 @@
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation describes one way a history fails to be linearizable as a FIFO
+// queue.
+type Violation struct {
+	// Rule names the violated condition.
+	Rule string
+	// Detail explains the specific failure.
+	Detail string
+	// Ops are the operations involved.
+	Ops []Op
+}
+
+// String formats the violation for reports and test failures.
+func (v Violation) String() string {
+	s := v.Rule + ": " + v.Detail
+	for _, op := range v.Ops {
+		s += "\n\t" + op.String()
+	}
+	return s
+}
+
+// Check applies necessary conditions for queue linearizability to a history
+// with distinct enqueued values (as produced by Recorder) and returns every
+// violation found. A nil result means the history passed; because the
+// conditions are necessary but not sufficient, a pass is strong evidence
+// rather than proof, while any violation is a definite bug. The conditions:
+//
+//  1. integrity — every dequeued value was enqueued, exactly once, and no
+//     value is dequeued twice;
+//  2. causality — no dequeue of v returns before the enqueue of v began;
+//  3. FIFO order — if enq(a) completed before enq(b) began, then deq(b)
+//     must not complete before deq(a) begins, and b must not be dequeued
+//     in a drained history where a never is;
+//  4. legal emptiness — a dequeue may report empty only if some instant in
+//     its interval admits an empty queue: there must be no value v whose
+//     enqueue completed before the dequeue began and whose dequeue (if
+//     any) began only after the empty report returned.
+func Check(h History) []Violation {
+	var violations []Violation
+
+	enqs := make(map[int]Op, len(h.Ops))
+	deqs := make(map[int]Op, len(h.Ops))
+	var empties []Op
+
+	for _, op := range h.Ops {
+		switch op.Kind {
+		case Enq:
+			if prev, dup := enqs[op.Value]; dup {
+				violations = append(violations, Violation{
+					Rule:   "integrity",
+					Detail: fmt.Sprintf("value %d enqueued twice", op.Value),
+					Ops:    []Op{prev, op},
+				})
+				continue
+			}
+			enqs[op.Value] = op
+		case Deq:
+			if prev, dup := deqs[op.Value]; dup {
+				violations = append(violations, Violation{
+					Rule:   "integrity",
+					Detail: fmt.Sprintf("value %d dequeued twice", op.Value),
+					Ops:    []Op{prev, op},
+				})
+				continue
+			}
+			deqs[op.Value] = op
+		case DeqEmpty:
+			empties = append(empties, op)
+		}
+	}
+
+	for v, d := range deqs {
+		e, ok := enqs[v]
+		if !ok {
+			violations = append(violations, Violation{
+				Rule:   "integrity",
+				Detail: fmt.Sprintf("value %d dequeued but never enqueued", v),
+				Ops:    []Op{d},
+			})
+			continue
+		}
+		if d.Return < e.Invoke {
+			violations = append(violations, Violation{
+				Rule:   "causality",
+				Detail: fmt.Sprintf("dequeue of %d returned before its enqueue began", v),
+				Ops:    []Op{e, d},
+			})
+		}
+	}
+
+	violations = append(violations, checkFIFO(enqs, deqs)...)
+	violations = append(violations, checkEmpties(enqs, deqs, empties)...)
+	return violations
+}
+
+// checkFIFO verifies rule 3 in O(n log n): scan enqueues in invocation
+// order and ensure the matching dequeue intervals respect every
+// strictly-ordered enqueue pair.
+func checkFIFO(enqs, deqs map[int]Op) []Violation {
+	ordered := make([]Op, 0, len(enqs))
+	for _, e := range enqs {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Invoke < ordered[j].Invoke })
+
+	var violations []Violation
+
+	// For pairs a, b with enq(a).Return < enq(b).Invoke (a strictly first):
+	// deq(b).Return < deq(a).Invoke is a violation, as is "b dequeued, a
+	// never dequeued". Scanning b in enqueue-invocation order, the
+	// candidates a are exactly the enqueues whose Return precedes b's
+	// Invoke; among them it suffices to compare against the one whose
+	// dequeue starts latest (or is missing), tracked incrementally.
+	type pending struct {
+		enq      Op
+		deqStart int64 // maxInt64 when never dequeued
+		deq      Op
+		hasDeq   bool
+	}
+	const never = int64(1<<63 - 1)
+
+	// Min-heap by enqueue Return would be ideal; with n small relative to
+	// the history and values unique, a sorted slice + pointer suffices.
+	byReturn := make([]pending, len(ordered))
+	for i, e := range ordered {
+		p := pending{enq: e, deqStart: never}
+		if d, ok := deqs[e.Value]; ok {
+			p.deqStart = d.Invoke
+			p.deq = d
+			p.hasDeq = true
+		}
+		byReturn[i] = p
+	}
+	sort.Slice(byReturn, func(i, j int) bool { return byReturn[i].enq.Return < byReturn[j].enq.Return })
+
+	var (
+		idx   int
+		worst *pending // completed enqueue whose dequeue starts latest
+	)
+	for _, b := range ordered {
+		for idx < len(byReturn) && byReturn[idx].enq.Return < b.Invoke {
+			p := &byReturn[idx]
+			if worst == nil || p.deqStart > worst.deqStart {
+				worst = p
+			}
+			idx++
+		}
+		if worst == nil {
+			continue
+		}
+		db, ok := deqs[b.Value]
+		if !ok {
+			continue
+		}
+		if !worst.hasDeq {
+			violations = append(violations, Violation{
+				Rule: "fifo",
+				Detail: fmt.Sprintf("value %d (enqueued strictly after %d) was dequeued, but %d never was",
+					b.Value, worst.enq.Value, worst.enq.Value),
+				Ops: []Op{worst.enq, b, db},
+			})
+			continue
+		}
+		if db.Return < worst.deqStart {
+			violations = append(violations, Violation{
+				Rule: "fifo",
+				Detail: fmt.Sprintf("dequeue of %d completed before dequeue of %d began, but %d was enqueued strictly first",
+					b.Value, worst.enq.Value, worst.enq.Value),
+				Ops: []Op{worst.enq, worst.deq, b, db},
+			})
+		}
+	}
+	return violations
+}
+
+// checkEmpties verifies rule 4: for each empty report E, a value that was
+// definitely present throughout E's interval refutes it. "Definitely
+// present" means enq(v).Return < E.Invoke and (v never dequeued, or
+// deq(v).Invoke > E.Return).
+func checkEmpties(enqs, deqs map[int]Op, empties []Op) []Violation {
+	if len(empties) == 0 {
+		return nil
+	}
+	var violations []Violation
+	// Histories may contain many empties; index enqueues by Return order
+	// and, for each empty, scan candidates enqueued before it. To stay
+	// near-linear, precompute for every enqueue the "occupied interval"
+	// [enq.Return, deqStart) and test stabbing queries with a sweep.
+	type interval struct {
+		from, to int64 // value definitely present in [from, to)
+		v        int
+	}
+	const never = int64(1<<63 - 1)
+	intervals := make([]interval, 0, len(enqs))
+	for v, e := range enqs {
+		to := never
+		if d, ok := deqs[v]; ok {
+			to = d.Invoke
+		}
+		if to > e.Return {
+			intervals = append(intervals, interval{from: e.Return, to: to, v: v})
+		}
+	}
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i].from < intervals[j].from })
+	sorted := make([]Op, len(empties))
+	copy(sorted, empties)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Invoke < sorted[j].Invoke })
+
+	// Sweep empties in invocation order, maintaining the active interval
+	// with the largest end among those starting before the empty begins.
+	var (
+		idx     int
+		largest *interval
+	)
+	for _, e := range sorted {
+		for idx < len(intervals) && intervals[idx].from < e.Invoke {
+			iv := &intervals[idx]
+			if largest == nil || iv.to > largest.to {
+				largest = iv
+			}
+			idx++
+		}
+		if largest != nil && largest.to > e.Return {
+			ops := []Op{enqs[largest.v], e}
+			if d, ok := deqs[largest.v]; ok {
+				ops = append(ops, d)
+			}
+			violations = append(violations, Violation{
+				Rule: "empty",
+				Detail: fmt.Sprintf("dequeue reported empty while value %d was in the queue for the whole interval",
+					largest.v),
+				Ops: ops,
+			})
+		}
+	}
+	return violations
+}

@@ -1,0 +1,340 @@
+package linearizability
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ops builds a history from (kind, value, invoke, return) tuples.
+func ops(list ...[4]int64) History {
+	h := History{}
+	for i, o := range list {
+		h.Ops = append(h.Ops, Op{
+			Process: i,
+			Kind:    Kind(o[0]),
+			Value:   int(o[1]),
+			Invoke:  o[2],
+			Return:  o[3],
+		})
+	}
+	return h
+}
+
+const (
+	kEnq      = int64(Enq)
+	kDeq      = int64(Deq)
+	kDeqEmpty = int64(DeqEmpty)
+)
+
+func TestCheckAcceptsSequentialFIFO(t *testing.T) {
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kEnq, 2, 3, 4},
+		[4]int64{kDeq, 1, 5, 6},
+		[4]int64{kDeq, 2, 7, 8},
+		[4]int64{kDeqEmpty, 0, 9, 10},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("violations on a legal history: %v", vs)
+	}
+}
+
+func TestCheckAcceptsOverlappingReorder(t *testing.T) {
+	// enq(1) and enq(2) overlap, so either dequeue order is legal.
+	h := ops(
+		[4]int64{kEnq, 1, 1, 5},
+		[4]int64{kEnq, 2, 2, 4},
+		[4]int64{kDeq, 2, 6, 7},
+		[4]int64{kDeq, 1, 8, 9},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("violations on a legal overlapping history: %v", vs)
+	}
+}
+
+func TestCheckRejectsDoubleDequeue(t *testing.T) {
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kDeq, 1, 3, 4},
+		[4]int64{kDeq, 1, 5, 6},
+	)
+	vs := Check(h)
+	if len(vs) == 0 || vs[0].Rule != "integrity" {
+		t.Fatalf("want integrity violation, got %v", vs)
+	}
+}
+
+func TestCheckRejectsInventedValue(t *testing.T) {
+	h := ops(
+		[4]int64{kDeq, 99, 1, 2},
+	)
+	vs := Check(h)
+	if len(vs) == 0 || vs[0].Rule != "integrity" {
+		t.Fatalf("want integrity violation, got %v", vs)
+	}
+}
+
+func TestCheckRejectsDoubleEnqueue(t *testing.T) {
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kEnq, 1, 3, 4},
+	)
+	vs := Check(h)
+	if len(vs) == 0 || vs[0].Rule != "integrity" {
+		t.Fatalf("want integrity violation, got %v", vs)
+	}
+}
+
+func TestCheckRejectsCausalityViolation(t *testing.T) {
+	// Dequeue returns before the enqueue was even invoked.
+	h := ops(
+		[4]int64{kDeq, 1, 1, 2},
+		[4]int64{kEnq, 1, 3, 4},
+	)
+	vs := Check(h)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "causality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want causality violation, got %v", vs)
+	}
+}
+
+func TestCheckRejectsFIFOInversion(t *testing.T) {
+	// enq(1) strictly precedes enq(2), but 2's dequeue completes before
+	// 1's dequeue begins.
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kEnq, 2, 3, 4},
+		[4]int64{kDeq, 2, 5, 6},
+		[4]int64{kDeq, 1, 7, 8},
+	)
+	vs := Check(h)
+	if len(vs) == 0 || vs[0].Rule != "fifo" {
+		t.Fatalf("want fifo violation, got %v", vs)
+	}
+}
+
+func TestCheckRejectsDequeueSkippingEarlierValue(t *testing.T) {
+	// 1 enqueued strictly before 2; 2 dequeued; 1 never dequeued.
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kEnq, 2, 3, 4},
+		[4]int64{kDeq, 2, 5, 6},
+	)
+	vs := Check(h)
+	if len(vs) == 0 || vs[0].Rule != "fifo" {
+		t.Fatalf("want fifo violation, got %v", vs)
+	}
+}
+
+func TestCheckRejectsIllegalEmpty(t *testing.T) {
+	// Value 1 is in the queue for the whole interval of the empty report.
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kDeqEmpty, 0, 3, 4},
+		[4]int64{kDeq, 1, 5, 6},
+	)
+	vs := Check(h)
+	if len(vs) == 0 || vs[0].Rule != "empty" {
+		t.Fatalf("want empty violation, got %v", vs)
+	}
+}
+
+func TestCheckAcceptsEmptyOverlappingEnqueue(t *testing.T) {
+	// The empty report overlaps the enqueue: it may linearize first.
+	h := ops(
+		[4]int64{kEnq, 1, 1, 4},
+		[4]int64{kDeqEmpty, 0, 2, 3},
+		[4]int64{kDeq, 1, 5, 6},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("violations on a legal history: %v", vs)
+	}
+}
+
+func TestCheckAcceptsEmptyAfterDrain(t *testing.T) {
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kDeq, 1, 3, 4},
+		[4]int64{kDeqEmpty, 0, 5, 6},
+		[4]int64{kEnq, 2, 7, 8},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("violations on a legal history: %v", vs)
+	}
+}
+
+func TestCheckAcceptsEmptyOverlappingDequeue(t *testing.T) {
+	// deq(1) overlaps the empty report: the dequeue may linearize first.
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kDeq, 1, 3, 6},
+		[4]int64{kDeqEmpty, 0, 4, 5},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("violations on a legal history: %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Rule:   "fifo",
+		Detail: "order broken",
+		Ops:    []Op{{Process: 1, Kind: Enq, Value: 3, Invoke: 1, Return: 2}},
+	}
+	s := v.String()
+	if s == "" || s == "fifo" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestCheckAgreesWithExactOnRandomHistories cross-validates the fast
+// necessary-condition checker against the exact decision procedure:
+// whenever Check reports a violation, CheckExact must agree the history is
+// not linearizable (soundness of Check).
+func TestCheckAgreesWithExactOnRandomHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		h := randomHistory(rng)
+		fastViolations := Check(h)
+		exact, err := CheckExact(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fastViolations) > 0 && exact {
+			t.Fatalf("trial %d: Check reported %v but CheckExact accepts history %v",
+				trial, fastViolations[0], h.Ops)
+		}
+	}
+}
+
+// randomHistory produces small histories, roughly half of which are legal:
+// it simulates a sequential queue over randomly overlapping intervals and
+// then randomly perturbs some histories to break them.
+func randomHistory(rng *rand.Rand) History {
+	n := 2 + rng.Intn(8)
+	var (
+		h     History
+		clock int64
+		queue []int
+		next  int
+	)
+	tick := func() int64 { clock++; return clock }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0: // enqueue
+			next++
+			h.Ops = append(h.Ops, Op{
+				Process: i, Kind: Enq, Value: next,
+				Invoke: tick(), Return: tick(),
+			})
+			queue = append(queue, next)
+		case 1: // dequeue
+			if len(queue) == 0 {
+				h.Ops = append(h.Ops, Op{Process: i, Kind: DeqEmpty, Invoke: tick(), Return: tick()})
+				continue
+			}
+			v := queue[0]
+			queue = queue[1:]
+			h.Ops = append(h.Ops, Op{Process: i, Kind: Deq, Value: v, Invoke: tick(), Return: tick()})
+		default: // empty report
+			if len(queue) == 0 {
+				h.Ops = append(h.Ops, Op{Process: i, Kind: DeqEmpty, Invoke: tick(), Return: tick()})
+			}
+		}
+	}
+	// Perturbation: with probability 1/2, swap the values of two dequeues
+	// (or corrupt one dequeue's value), often breaking the history. Only
+	// dequeues are touched so enqueued values stay distinct, which the fast
+	// checker requires.
+	if rng.Intn(2) == 0 {
+		var deqIdx []int
+		for i, op := range h.Ops {
+			if op.Kind == Deq {
+				deqIdx = append(deqIdx, i)
+			}
+		}
+		switch {
+		case len(deqIdx) >= 2:
+			i, j := deqIdx[rng.Intn(len(deqIdx))], deqIdx[rng.Intn(len(deqIdx))]
+			h.Ops[i].Value, h.Ops[j].Value = h.Ops[j].Value, h.Ops[i].Value
+		case len(deqIdx) == 1:
+			h.Ops[deqIdx[0]].Value += 100 // invented value
+		}
+	}
+	return h
+}
+
+// TestSmearedHistoriesStayLegal is the interval-robustness property: take a
+// legal sequential history and "smear" it — extend each operation's
+// interval backwards and forwards at random while keeping its linearization
+// point inside. The result models concurrent overlap and must still pass
+// both checkers; any false positive here would make the checkers useless
+// on real concurrent recordings.
+func TestSmearedHistoriesStayLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		h := smearedLegalHistory(rng)
+		if vs := Check(h); len(vs) != 0 {
+			t.Fatalf("trial %d: false positive %v on smeared history %v", trial, vs[0], h.Ops)
+		}
+		if len(h.Ops) <= 12 {
+			ok, err := CheckExact(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: exact checker rejected smeared legal history %v", trial, h.Ops)
+			}
+		}
+	}
+}
+
+// smearedLegalHistory builds a legal sequential queue history on a coarse
+// clock, then randomly widens each interval without crossing another op's
+// linearization point ordering constraints being violated (the
+// linearization point of op i is fixed at time 10*i+5; invoke may move
+// back to just after the previous op's invoke floor, return forward
+// arbitrarily).
+func smearedLegalHistory(rng *rand.Rand) History {
+	n := 2 + rng.Intn(9)
+	var (
+		h     History
+		queue []int
+		next  int
+	)
+	for i := 0; i < n; i++ {
+		linear := int64(10*i + 5)
+		op := Op{Process: i, Invoke: linear - 1 - int64(rng.Intn(30)), Return: linear + 1 + int64(rng.Intn(30))}
+		switch rng.Intn(3) {
+		case 0:
+			next++
+			op.Kind, op.Value = Enq, next
+			queue = append(queue, next)
+		case 1:
+			if len(queue) == 0 {
+				op.Kind = DeqEmpty
+			} else {
+				op.Kind, op.Value = Deq, queue[0]
+				queue = queue[1:]
+			}
+		default:
+			if len(queue) == 0 {
+				op.Kind = DeqEmpty
+			} else {
+				next++
+				op.Kind, op.Value = Enq, next
+				queue = append(queue, next)
+			}
+		}
+		if op.Invoke < 0 {
+			op.Invoke = 0
+		}
+		h.Ops = append(h.Ops, op)
+	}
+	return h
+}

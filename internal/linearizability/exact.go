@@ -1,0 +1,96 @@
+package linearizability
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxExactOps bounds the history size CheckExact accepts; the search is
+// exponential in the worst case and uses a 64-bit set of operations.
+const MaxExactOps = 64
+
+// CheckExact decides linearizability of a small history exactly, using the
+// Wing–Gong search: repeatedly pick a *minimal* pending operation (one
+// whose invocation precedes every un-linearized operation's response),
+// apply it to a sequential queue, and backtrack on illegal applications.
+// Visited (linearized-set, queue-state) pairs are memoised.
+//
+// It returns whether the history is linearizable, and an error if the
+// history is too large or malformed. The fast Check is validated against
+// this function in the tests.
+func CheckExact(h History) (bool, error) {
+	n := len(h.Ops)
+	if n > MaxExactOps {
+		return false, fmt.Errorf("linearizability: history of %d ops exceeds CheckExact limit %d", n, MaxExactOps)
+	}
+	for _, op := range h.Ops {
+		if op.Invoke >= op.Return {
+			return false, fmt.Errorf("linearizability: op %v has an empty interval", op)
+		}
+	}
+	ops := h.Ops
+
+	type state struct {
+		done  uint64
+		queue []int
+	}
+	visited := make(map[string]struct{})
+	key := func(s state) string {
+		var b strings.Builder
+		b.WriteString(strconv.FormatUint(s.done, 16))
+		for _, v := range s.queue {
+			b.WriteByte('.')
+			b.WriteString(strconv.Itoa(v))
+		}
+		return b.String()
+	}
+
+	var dfs func(s state) bool
+	dfs = func(s state) bool {
+		if s.done == (uint64(1)<<n)-1 {
+			return true
+		}
+		k := key(s)
+		if _, seen := visited[k]; seen {
+			return false
+		}
+		visited[k] = struct{}{}
+
+		// The frontier: pending ops invoked before every pending response.
+		minReturn := int64(1<<63 - 1)
+		for i, op := range ops {
+			if s.done&(1<<i) == 0 && op.Return < minReturn {
+				minReturn = op.Return
+			}
+		}
+		for i, op := range ops {
+			if s.done&(1<<i) != 0 || op.Invoke > minReturn {
+				continue
+			}
+			next := state{done: s.done | 1<<i}
+			switch op.Kind {
+			case Enq:
+				next.queue = append(append([]int(nil), s.queue...), op.Value)
+			case Deq:
+				if len(s.queue) == 0 || s.queue[0] != op.Value {
+					continue // illegal here; try another frontier op
+				}
+				next.queue = append([]int(nil), s.queue[1:]...)
+			case DeqEmpty:
+				if len(s.queue) != 0 {
+					continue
+				}
+				next.queue = s.queue
+			default:
+				continue
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+
+	return dfs(state{}), nil
+}

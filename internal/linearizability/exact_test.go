@@ -1,0 +1,178 @@
+package linearizability
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckExactAcceptsReorderOfOverlappingEnqueues(t *testing.T) {
+	h := ops(
+		[4]int64{kEnq, 1, 1, 10},
+		[4]int64{kEnq, 2, 2, 9},
+		[4]int64{kDeq, 2, 11, 12},
+		[4]int64{kDeq, 1, 13, 14},
+	)
+	ok, err := CheckExact(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("rejected a history linearizable by ordering enq(2) first")
+	}
+}
+
+func TestCheckExactRejectsStrictInversion(t *testing.T) {
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kEnq, 2, 3, 4},
+		[4]int64{kDeq, 2, 5, 6},
+		[4]int64{kDeq, 1, 7, 8},
+	)
+	ok, err := CheckExact(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted a strict FIFO inversion")
+	}
+}
+
+func TestCheckExactEmptyHistory(t *testing.T) {
+	ok, err := CheckExact(History{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("rejected the empty history")
+	}
+}
+
+func TestCheckExactDeqBeforeAnyEnqueueOverlap(t *testing.T) {
+	// deq(1) overlaps enq(1): legal (enqueue linearizes first).
+	h := ops(
+		[4]int64{kEnq, 1, 1, 6},
+		[4]int64{kDeq, 1, 2, 7},
+	)
+	ok, err := CheckExact(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("rejected a legal overlapping enq/deq pair")
+	}
+
+	// But a dequeue strictly before the enqueue is illegal.
+	h2 := ops(
+		[4]int64{kDeq, 1, 1, 2},
+		[4]int64{kEnq, 1, 3, 4},
+	)
+	ok2, err := CheckExact(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2 {
+		t.Fatal("accepted a dequeue preceding its enqueue")
+	}
+}
+
+func TestCheckExactIllegalEmpty(t *testing.T) {
+	h := ops(
+		[4]int64{kEnq, 1, 1, 2},
+		[4]int64{kDeqEmpty, 0, 3, 4},
+	)
+	ok, err := CheckExact(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted an empty report with a value definitely enqueued")
+	}
+}
+
+func TestCheckExactRejectsOversizedHistory(t *testing.T) {
+	h := History{}
+	for i := 0; i < MaxExactOps+1; i++ {
+		h.Ops = append(h.Ops, Op{Kind: Enq, Value: i, Invoke: int64(2*i + 1), Return: int64(2*i + 2)})
+	}
+	if _, err := CheckExact(h); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want size error", err)
+	}
+}
+
+func TestCheckExactRejectsEmptyInterval(t *testing.T) {
+	h := History{Ops: []Op{{Kind: Enq, Value: 1, Invoke: 5, Return: 5}}}
+	if _, err := CheckExact(h); err == nil {
+		t.Fatal("want error for an op with Invoke >= Return")
+	}
+}
+
+// TestCheckExactDiamond exercises the memoisation: many overlapping
+// operations whose linearizations share states.
+func TestCheckExactDiamond(t *testing.T) {
+	var h History
+	// 6 enqueues all overlapping, then 6 dequeues all overlapping, values
+	// reversed — linearizable because any enqueue order is allowed.
+	for i := 0; i < 6; i++ {
+		h.Ops = append(h.Ops, Op{Kind: Enq, Value: i + 1, Invoke: 1 + int64(i), Return: 100 + int64(i)})
+	}
+	for i := 0; i < 6; i++ {
+		h.Ops = append(h.Ops, Op{Kind: Deq, Value: 6 - i, Invoke: 200 + int64(i), Return: 300 + int64(i)})
+	}
+	ok, err := CheckExact(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("rejected reversed dequeues of fully overlapping enqueues")
+	}
+}
+
+func TestRecorderProducesWellFormedHistories(t *testing.T) {
+	q := &modelQueue{}
+	rec := NewRecorder(q, 16)
+	rec.Enqueue(0)
+	rec.Enqueue(0)
+	if v, ok := rec.Dequeue(0); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+	rec.Dequeue(0)
+	rec.Dequeue(0) // empty
+	h := rec.History()
+	if len(h.Ops) != 5 {
+		t.Fatalf("recorded %d ops, want 5", len(h.Ops))
+	}
+	for _, op := range h.Ops {
+		if op.Invoke >= op.Return {
+			t.Fatalf("op %v has a malformed interval", op)
+		}
+	}
+	if h.Ops[4].Kind != DeqEmpty {
+		t.Fatalf("last op kind = %v, want DeqEmpty", h.Ops[4].Kind)
+	}
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("violations on a sequential recorded history: %v", vs)
+	}
+	ok, err := CheckExact(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("exact checker rejected a sequential recorded history")
+	}
+}
+
+// modelQueue is a trivial sequential queue for recorder tests.
+type modelQueue struct {
+	items []int
+}
+
+func (m *modelQueue) Enqueue(v int) { m.items = append(m.items, v) }
+
+func (m *modelQueue) Dequeue() (int, bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}

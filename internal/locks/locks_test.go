@@ -1,0 +1,263 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestNew(t *testing.T) {
+	for _, name := range Names() {
+		l, ok := New(name)
+		if !ok || l == nil {
+			t.Fatalf("New(%q) = %v, %v", name, l, ok)
+		}
+	}
+	if _, ok := New("nope"); ok {
+		t.Fatal(`New("nope") succeeded`)
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			l, _ := New(name)
+			const (
+				workers = 8
+				rounds  = 10000
+			)
+			var (
+				counter int // deliberately unsynchronised; the lock must protect it
+				wg      sync.WaitGroup
+			)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						l.Lock()
+						counter++
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != workers*rounds {
+				t.Fatalf("counter = %d, want %d: mutual exclusion violated", counter, workers*rounds)
+			}
+		})
+	}
+}
+
+func TestSequentialReacquire(t *testing.T) {
+	for _, name := range Names() {
+		l, _ := New(name)
+		for i := 0; i < 100; i++ {
+			l.Lock()
+			l.Unlock() //nolint:staticcheck // exercising bare handoff
+		}
+	}
+}
+
+func TestCriticalSectionSeesPriorWrites(t *testing.T) {
+	// The lock must order memory: a value written inside one critical
+	// section is visible in the next, on every lock type.
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			l, _ := New(name)
+			var (
+				data [64]int
+				sum  int
+				wg   sync.WaitGroup
+			)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 1000; i++ {
+						l.Lock()
+						data[(w*1000+i)%64]++
+						sum++
+						l.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			total := 0
+			for _, d := range data {
+				total += d
+			}
+			if total != 4000 || sum != 4000 {
+				t.Fatalf("total = %d, sum = %d, want 4000", total, sum)
+			}
+		})
+	}
+}
+
+func TestTicketIsFIFO(t *testing.T) {
+	// With the lock held, queue up waiters one at a time; they must acquire
+	// in arrival order.
+	var l Ticket
+	l.Lock()
+
+	const waiters = 5
+	var (
+		order []int
+		mu    sync.Mutex
+		ready sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	for i := 0; i < waiters; i++ {
+		i := i
+		ready.Add(1)
+		done.Add(1)
+		go func() {
+			// Take a ticket deterministically before admitting the next
+			// goroutine: the ticket counter assigns arrival order.
+			tkt := l.next.Add(1) - 1
+			ready.Done()
+			for l.owner.Load() != tkt {
+				runtime.Gosched()
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.owner.Add(1) // unlock
+			done.Done()
+		}()
+		ready.Wait() // ensure goroutine i took its ticket before i+1 starts
+	}
+	l.Unlock()
+	done.Wait()
+
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("acquisition order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestMCSHandoff(t *testing.T) {
+	// A chain of acquisitions must all complete (no lost wakeups in the
+	// swap/link window).
+	var l MCS
+	const workers = 16
+	var (
+		wg    sync.WaitGroup
+		count int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Lock()
+				count++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if count != workers*500 {
+		t.Fatalf("count = %d, want %d", count, workers*500)
+	}
+}
+
+func BenchmarkLocks(b *testing.B) {
+	for _, name := range Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			l, _ := New(name)
+			var shared int
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					shared++
+					l.Unlock()
+				}
+			})
+			_ = shared
+		})
+	}
+}
+
+func TestAndersonFIFOHandoff(t *testing.T) {
+	// Waiters queued one at a time must acquire in arrival order.
+	l := NewAnderson(8)
+	l.Lock()
+
+	const waiters = 5
+	var (
+		order []int
+		mu    sync.Mutex
+		ready sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	for i := 0; i < waiters; i++ {
+		i := i
+		ready.Add(1)
+		done.Add(1)
+		go func() {
+			t := l.next.Add(1) - 1
+			slot := t % uint64(len(l.slots))
+			ready.Done()
+			for !l.slots[slot].granted.Load() {
+				runtime.Gosched()
+			}
+			l.owner = slot
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Unlock()
+			done.Done()
+		}()
+		ready.Wait()
+	}
+	l.Unlock()
+	done.Wait()
+
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("acquisition order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestAndersonDefaultSlots(t *testing.T) {
+	l := NewAnderson(0)
+	if len(l.slots) != DefaultAndersonSlots {
+		t.Fatalf("slots = %d, want %d", len(l.slots), DefaultAndersonSlots)
+	}
+	l.Lock()
+	l.Unlock()
+}
+
+func TestCLHFIFOChain(t *testing.T) {
+	// Handoff through a chain of waiters must complete without lost
+	// wakeups; CLH has no swap-to-link window at all.
+	l := NewCLH()
+	const workers = 12
+	var (
+		wg    sync.WaitGroup
+		count int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				l.Lock()
+				count++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if count != workers*400 {
+		t.Fatalf("count = %d, want %d", count, workers*400)
+	}
+}

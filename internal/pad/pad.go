@@ -1,0 +1,35 @@
+// Package pad provides cache-line padding helpers used to keep frequently
+// written shared words (queue heads, tails, lock words) on distinct cache
+// lines, avoiding false sharing between processors.
+//
+// The 1996 SGI Challenge used 128-byte cache lines; modern x86 parts use 64
+// bytes but adjacent-line prefetching makes 128-byte isolation the safe
+// choice, which is also what the Go runtime uses internally.
+package pad
+
+// CacheLineSize is the conservative isolation unit in bytes.
+const CacheLineSize = 128
+
+// Line is a full cache line of padding. Embed a Line between two hot fields
+// to place them on separate cache lines:
+//
+//	type queue struct {
+//		head atomic.Pointer[node]
+//		_    pad.Line
+//		tail atomic.Pointer[node]
+//	}
+type Line [CacheLineSize]byte
+
+// To pads a hot field of size n out to a cache-line boundary when used as
+// [pad.CacheLineSize - n]byte is awkward; declare trailing padding as
+//
+//	_ [pad.To(unsafe.Sizeof(field))]byte
+//
+// in contexts where a constant expression is available.
+func To(n uintptr) uintptr {
+	r := n % CacheLineSize
+	if r == 0 {
+		return 0
+	}
+	return CacheLineSize - r
+}

@@ -1,0 +1,42 @@
+package pad
+
+import (
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestLineSize(t *testing.T) {
+	if got := unsafe.Sizeof(Line{}); got != CacheLineSize {
+		t.Fatalf("Line is %d bytes, want %d", got, CacheLineSize)
+	}
+}
+
+func TestTo(t *testing.T) {
+	tests := []struct {
+		give uintptr
+		want uintptr
+	}{
+		{give: 0, want: 0},
+		{give: 1, want: CacheLineSize - 1},
+		{give: 8, want: CacheLineSize - 8},
+		{give: CacheLineSize, want: 0},
+		{give: CacheLineSize + 1, want: CacheLineSize - 1},
+		{give: 3 * CacheLineSize, want: 0},
+	}
+	for _, tt := range tests {
+		if got := To(tt.give); got != tt.want {
+			t.Errorf("To(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestToAlwaysAligns(t *testing.T) {
+	f := func(n uint16) bool {
+		sz := uintptr(n)
+		return (sz+To(sz))%CacheLineSize == 0 && To(sz) < CacheLineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

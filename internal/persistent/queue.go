@@ -1,0 +1,121 @@
+// Package persistent provides an immutable (persistent) FIFO queue: every
+// operation returns a new queue value sharing structure with the old one.
+// It is the sequential-object substrate for the Herlihy-style universal
+// construction in internal/baseline — the paper's representative of
+// "general methodologies for generating non-blocking versions of
+// sequential ... algorithms" whose resulting implementations "are generally
+// inefficient compared to specialized algorithms" (section 1).
+//
+// The representation is the classic two-list batched queue: a front list
+// holding elements in dequeue order and a back list holding elements in
+// reverse enqueue order; when the front is exhausted the back is reversed.
+// Enqueue is O(1); dequeue is amortised O(1) with an O(n) worst case at
+// reversal — a cost profile that the universal construction inherits and
+// the benchmarks expose.
+package persistent
+
+// Queue is an immutable FIFO queue. A nil *Queue is the empty queue and is
+// accepted by every method; Empty spells that out at construction sites.
+type Queue[T any] struct {
+	front *cell[T] // next to dequeue, in order
+	back  *cell[T] // most recently enqueued first
+	size  int
+}
+
+type cell[T any] struct {
+	value T
+	next  *cell[T]
+}
+
+// Empty returns the empty queue.
+func Empty[T any]() *Queue[T] { return nil }
+
+// Len returns the number of elements.
+func (q *Queue[T]) Len() int {
+	if q == nil {
+		return 0
+	}
+	return q.size
+}
+
+// IsEmpty reports whether the queue holds no elements.
+func (q *Queue[T]) IsEmpty() bool { return q.Len() == 0 }
+
+// Enqueue returns a queue with v appended. The receiver is unchanged.
+func (q *Queue[T]) Enqueue(v T) *Queue[T] {
+	if q == nil {
+		return &Queue[T]{front: &cell[T]{value: v}, size: 1}
+	}
+	return &Queue[T]{
+		front: q.front,
+		back:  &cell[T]{value: v, next: q.back},
+		size:  q.size + 1,
+	}
+}
+
+// Dequeue returns the head element and the queue without it. The third
+// result is false if the queue is empty; the receiver is unchanged.
+func (q *Queue[T]) Dequeue() (T, *Queue[T], bool) {
+	if q.Len() == 0 {
+		var zero T
+		return zero, q, false
+	}
+	front := q.front
+	back := q.back
+	if front == nil {
+		// Reverse the back list to restore dequeue order: the O(n) step
+		// that amortises against the n enqueues that built the list.
+		front = reverse(back)
+		back = nil
+	}
+	rest := &Queue[T]{front: front.next, back: back, size: q.size - 1}
+	if rest.size == 0 {
+		rest = nil
+	}
+	return front.value, rest, true
+}
+
+// Peek returns the head element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	if q.Len() == 0 {
+		var zero T
+		return zero, false
+	}
+	if q.front != nil {
+		return q.front.value, true
+	}
+	// The head is the last element of the back list.
+	c := q.back
+	for c.next != nil {
+		c = c.next
+	}
+	return c.value, true
+}
+
+// Slice returns the elements in dequeue order; it is intended for tests.
+func (q *Queue[T]) Slice() []T {
+	if q.Len() == 0 {
+		return nil
+	}
+	out := make([]T, 0, q.size)
+	for c := q.front; c != nil; c = c.next {
+		out = append(out, c.value)
+	}
+	// The back list is in reverse order; append it reversed.
+	n := len(out)
+	for c := q.back; c != nil; c = c.next {
+		out = append(out, c.value)
+	}
+	for i, j := n, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func reverse[T any](c *cell[T]) *cell[T] {
+	var rev *cell[T]
+	for ; c != nil; c = c.next {
+		rev = &cell[T]{value: c.value, next: rev}
+	}
+	return rev
+}

@@ -1,0 +1,154 @@
+package persistent
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	q := Empty[int]()
+	if !q.IsEmpty() || q.Len() != 0 {
+		t.Fatalf("empty queue: IsEmpty=%v Len=%d", q.IsEmpty(), q.Len())
+	}
+	if _, _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+	if s := q.Slice(); s != nil {
+		t.Fatalf("Slice = %v, want nil", s)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := Empty[int]()
+	for i := 1; i <= 10; i++ {
+		q = q.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for want := 1; want <= 10; want++ {
+		if v, ok := q.Peek(); !ok || v != want {
+			t.Fatalf("Peek = %d,%v, want %d", v, ok, want)
+		}
+		v, rest, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = %d,%v, want %d", v, ok, want)
+		}
+		q = rest
+	}
+	if !q.IsEmpty() {
+		t.Fatal("queue not empty at the end")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	// Older versions must be unaffected by later operations.
+	q1 := Empty[string]().Enqueue("a").Enqueue("b")
+	q2 := q1.Enqueue("c")
+	_, q3, _ := q2.Dequeue()
+
+	if got := q1.Slice(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("q1 changed: %v", got)
+	}
+	if got := q2.Slice(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("q2 = %v", got)
+	}
+	if got := q3.Slice(); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("q3 = %v", got)
+	}
+	// Dequeue does not mutate its receiver either.
+	if got := q2.Slice(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("q2 mutated by Dequeue: %v", got)
+	}
+}
+
+func TestReversalPath(t *testing.T) {
+	// Drain-then-refill drives the front list to nil while the back list is
+	// populated, exercising the reversal.
+	q := Empty[int]()
+	q = q.Enqueue(1)
+	_, q, _ = q.Dequeue() // empty again
+	for i := 2; i <= 5; i++ {
+		q = q.Enqueue(i)
+	}
+	// Everything is in the back list now except element 2.
+	for want := 2; want <= 5; want++ {
+		v, rest, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = %d,%v, want %d (Slice=%v)", v, ok, want, q.Slice())
+		}
+		q = rest
+	}
+}
+
+func TestPeekAfterReversalPending(t *testing.T) {
+	// Peek must find the head even when it lives at the end of the back
+	// list (front exhausted, reversal not yet performed).
+	q := Empty[int]().Enqueue(1)
+	_, q, _ = q.Dequeue()
+	q = q.Enqueue(7).Enqueue(8)
+	if v, ok := q.Peek(); !ok || v != 7 {
+		t.Fatalf("Peek = %d,%v, want 7", v, ok)
+	}
+}
+
+func TestModelProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := Empty[int]()
+		var model []int
+		for _, op := range ops {
+			if op >= 0 {
+				q = q.Enqueue(int(op))
+				model = append(model, int(op))
+			} else {
+				v, rest, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+				q = rest
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			if got := q.Slice(); !sliceEqual(got, model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sliceEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStructuralSharing(t *testing.T) {
+	// Enqueue must not copy the front list: the head cell is shared.
+	q1 := Empty[int]().Enqueue(1).Enqueue(2)
+	q2 := q1.Enqueue(3)
+	if q1.front != q2.front {
+		t.Fatal("Enqueue copied the front list instead of sharing it")
+	}
+}

@@ -1,0 +1,65 @@
+// Package queue defines the concurrent FIFO queue contract shared by every
+// algorithm in this repository.
+//
+// The contract matches the paper's pseudo-code: enqueue always succeeds
+// (memory permitting), and dequeue returns a value and "true", or "false"
+// when the queue is observed empty. Package algorithms provides a catalog of
+// the concrete implementations for the harness and the checkers.
+package queue
+
+import "fmt"
+
+// Queue is a multi-producer multi-consumer FIFO queue of values of type T.
+//
+// Implementations must be safe for concurrent use by any number of
+// goroutines and linearizable: each operation appears to take effect
+// atomically at some instant between its invocation and its return.
+type Queue[T any] interface {
+	// Enqueue appends v to the tail of the queue.
+	Enqueue(v T)
+	// Dequeue removes and returns the value at the head of the queue.
+	// The second result is false if the queue was empty.
+	Dequeue() (T, bool)
+}
+
+// Bounded is implemented by queues backed by a fixed-capacity node arena
+// (the tagged, free-list-based variants). TryEnqueue reports false when the
+// free list is exhausted instead of blocking or growing.
+type Bounded[T any] interface {
+	Queue[T]
+	// TryEnqueue appends v if a free node is available and reports whether
+	// it did.
+	TryEnqueue(v T) bool
+}
+
+// Progress classifies an algorithm's liveness guarantee using the paper's
+// taxonomy (section 1).
+type Progress int
+
+const (
+	// Blocking algorithms allow a delayed process to prevent faster
+	// processes from completing operations indefinitely (all lock-based
+	// algorithms, and lock-free-but-blocking ones such as Mellor-Crummey's).
+	Blocking Progress = iota + 1
+	// NonBlocking guarantees that some active process completes an
+	// operation in a finite number of steps.
+	NonBlocking
+	// WaitFree additionally guarantees per-process progress. (None of the
+	// paper's contenders is wait-free; the constant exists for completeness
+	// of the taxonomy.)
+	WaitFree
+)
+
+// String returns the taxonomy label used in the paper.
+func (p Progress) String() string {
+	switch p {
+	case Blocking:
+		return "blocking"
+	case NonBlocking:
+		return "non-blocking"
+	case WaitFree:
+		return "wait-free"
+	default:
+		return fmt.Sprintf("Progress(%d)", int(p))
+	}
+}

@@ -1,0 +1,21 @@
+package queue
+
+import "testing"
+
+func TestProgressString(t *testing.T) {
+	tests := []struct {
+		give Progress
+		want string
+	}{
+		{give: Blocking, want: "blocking"},
+		{give: NonBlocking, want: "non-blocking"},
+		{give: WaitFree, want: "wait-free"},
+		{give: Progress(42), want: "Progress(42)"},
+		{give: Progress(0), want: "Progress(0)"}, // zero value is invalid by design
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Progress(%d).String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package queuetest provides a conformance suite run against every queue
+// implementation in this module. It checks the sequential FIFO contract,
+// the concurrent conservation and ordering properties implied by
+// linearizability, and — using the linearizability checker — recorded
+// concurrent histories.
+package queuetest
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"msqueue/internal/linearizability"
+	"msqueue/internal/queue"
+)
+
+// Options tunes the suite for a particular implementation.
+type Options struct {
+	// Capacity is passed to the constructor; bounded queues must be able to
+	// hold this many items at once. Zero selects a default that every test
+	// in the suite stays within.
+	Capacity int
+}
+
+const defaultCapacity = 1 << 16
+
+// Run executes the full conformance suite against queues built by new.
+func Run(t *testing.T, newQueue func(cap int) queue.Queue[int], opts Options) {
+	t.Helper()
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = defaultCapacity
+	}
+	build := func() queue.Queue[int] { return newQueue(capacity) }
+
+	t.Run("EmptyDequeue", func(t *testing.T) { testEmptyDequeue(t, build) })
+	t.Run("SequentialFIFO", func(t *testing.T) { testSequentialFIFO(t, build) })
+	t.Run("AlternatingSingleItem", func(t *testing.T) { testAlternating(t, build) })
+	t.Run("DrainToEmptyRepeatedly", func(t *testing.T) { testDrainRepeatedly(t, build) })
+	t.Run("ModelProperty", func(t *testing.T) { testModelProperty(t, build) })
+	t.Run("ConcurrentConservation", func(t *testing.T) { testConservation(t, build) })
+	t.Run("PerProducerOrder", func(t *testing.T) { testPerProducerOrder(t, build) })
+	t.Run("ConcurrentPairs", func(t *testing.T) { testConcurrentPairs(t, build) })
+	t.Run("LinearizableHistory", func(t *testing.T) { testLinearizableHistory(t, build) })
+	t.Run("LinearizableHistoryExact", func(t *testing.T) { testLinearizableExact(t, build) })
+}
+
+func testEmptyDequeue(t *testing.T, build func() queue.Queue[int]) {
+	q := build()
+	for i := 0; i < 3; i++ {
+		if v, ok := q.Dequeue(); ok {
+			t.Fatalf("Dequeue on empty queue returned %d", v)
+		}
+	}
+	q.Enqueue(7)
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("Dequeue = %d,%v, want 7,true", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func testSequentialFIFO(t *testing.T, build func() queue.Queue[int]) {
+	q := build()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("queue empty after %d dequeues, want %d", i, n)
+		}
+		if v != i {
+			t.Fatalf("Dequeue = %d, want %d: FIFO order broken", v, i)
+		}
+	}
+}
+
+func testAlternating(t *testing.T, build func() queue.Queue[int]) {
+	// Stresses the dummy-node swap and (for tagged variants) node reuse:
+	// the queue oscillates between empty and one item thousands of times.
+	q := build()
+	for i := 0; i < 10000; i++ {
+		q.Enqueue(i)
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("iteration %d: Dequeue = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty at the end")
+	}
+}
+
+func testDrainRepeatedly(t *testing.T, build func() queue.Queue[int]) {
+	q := build()
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			q.Enqueue(round*100 + i)
+		}
+		for i := 0; i < 40; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != round*100+i {
+				t.Fatalf("round %d item %d: got %d,%v", round, i, v, ok)
+			}
+		}
+		if _, ok := q.Dequeue(); ok {
+			t.Fatalf("round %d: queue not empty after drain", round)
+		}
+	}
+}
+
+func testModelProperty(t *testing.T, build func() queue.Queue[int]) {
+	f := func(ops []int16) bool {
+		q := build()
+		var model []int
+		for _, op := range ops {
+			if op >= 0 {
+				q.Enqueue(int(op))
+				model = append(model, int(op))
+				continue
+			}
+			v, ok := q.Dequeue()
+			if len(model) == 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			want := model[0]
+			model = model[1:]
+			if !ok || v != want {
+				return false
+			}
+		}
+		// Drain and compare the remainder.
+		for _, want := range model {
+			v, ok := q.Dequeue()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testConservation(t *testing.T, build func() queue.Queue[int]) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 3000
+	)
+	q := build()
+	var (
+		prodWG sync.WaitGroup
+		consWG sync.WaitGroup
+		mu     sync.Mutex
+		seen   = make(map[int]int, producers*perProd)
+		done   = make(chan struct{})
+	)
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue(p*perProd + i)
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			local := make(map[int]int)
+			flush := func() {
+				mu.Lock()
+				for k, n := range local {
+					seen[k] += n
+				}
+				mu.Unlock()
+			}
+			for {
+				if v, ok := q.Dequeue(); ok {
+					local[v]++
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							flush()
+							return
+						}
+						local[v]++
+					}
+				default:
+				}
+			}
+		}()
+	}
+	prodWG.Wait()
+	close(done)
+	consWG.Wait()
+
+	if len(seen) != producers*perProd {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+}
+
+func testPerProducerOrder(t *testing.T, build func() queue.Queue[int]) {
+	// Linearizability implies each producer's items are dequeued in the
+	// order that producer enqueued them (they form a subsequence).
+	const (
+		producers = 3
+		perProd   = 4000
+	)
+	q := build()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		last = make(map[int]int) // producer -> last sequence seen
+		done = make(chan struct{})
+		fail = make(chan string, 1)
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue(p<<20 | i)
+			}
+		}(p)
+	}
+	var consWG sync.WaitGroup
+	consWG.Add(1)
+	go func() {
+		defer consWG.Done()
+		check := func(v int) bool {
+			p, seq := v>>20, v&(1<<20-1)
+			mu.Lock()
+			defer mu.Unlock()
+			prev, ok := last[p]
+			if ok && seq <= prev {
+				select {
+				case fail <- "producer order violated":
+				default:
+				}
+				return false
+			}
+			last[p] = seq
+			return true
+		}
+		for {
+			if v, ok := q.Dequeue(); ok {
+				if !check(v) {
+					return
+				}
+				continue
+			}
+			select {
+			case <-done:
+				for {
+					v, ok := q.Dequeue()
+					if !ok {
+						return
+					}
+					if !check(v) {
+						return
+					}
+				}
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	consWG.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func testConcurrentPairs(t *testing.T, build func() queue.Queue[int]) {
+	// The paper's workload shape: every process alternates enqueue and
+	// dequeue; afterwards the number of undequeued items must equal the
+	// number of empty dequeues observed.
+	const (
+		procs = 6
+		iters = 2000
+	)
+	q := build()
+	var (
+		wg      sync.WaitGroup
+		empties sync.Map
+	)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < iters; i++ {
+				q.Enqueue(p*iters + i)
+				if _, ok := q.Dequeue(); !ok {
+					n++
+				}
+			}
+			empties.Store(p, n)
+		}(p)
+	}
+	wg.Wait()
+
+	totalEmpty := 0
+	empties.Range(func(_, v any) bool {
+		totalEmpty += v.(int)
+		return true
+	})
+	remaining := 0
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+		remaining++
+	}
+	if remaining != totalEmpty {
+		t.Fatalf("items left in queue = %d, empty dequeues = %d: conservation broken", remaining, totalEmpty)
+	}
+}
+
+func testLinearizableHistory(t *testing.T, build func() queue.Queue[int]) {
+	const (
+		procs = 6
+		iters = 1500
+	)
+	rec := linearizability.NewRecorder(build(), 2*procs*iters)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rec.Enqueue(p)
+				if i%3 == 0 {
+					// Occasionally double-dequeue to drive the queue empty
+					// and exercise the empty-report path.
+					rec.Dequeue(p)
+				}
+				rec.Dequeue(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if vs := linearizability.Check(rec.History()); len(vs) != 0 {
+		for i, v := range vs {
+			if i == 3 {
+				t.Errorf("... and %d more violations", len(vs)-3)
+				break
+			}
+			t.Errorf("violation: %v", v)
+		}
+		t.FailNow()
+	}
+}
+
+func testLinearizableExact(t *testing.T, build func() queue.Queue[int]) {
+	// Small concurrent histories checked with the exact decision procedure.
+	for round := 0; round < 20; round++ {
+		rec := linearizability.NewRecorder(build(), 24)
+		var wg sync.WaitGroup
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					rec.Enqueue(p)
+					rec.Dequeue(p)
+				}
+			}(p)
+		}
+		wg.Wait()
+		ok, err := linearizability.CheckExact(rec.History())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !ok {
+			t.Fatalf("round %d: history not linearizable:\n%v", round, rec.History().Ops)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package stack implements Treiber's non-blocking stack [21], which the
+// paper uses as its non-blocking free list. This is the garbage-collected
+// variant: Go's GC guarantees that a node's memory is not recycled while any
+// thread still holds a reference to it, which eliminates the ABA problem
+// without tags (a popped-and-reallocated node can never be confused with
+// the node a stale pointer refers to, because the stale pointer keeps the
+// old node alive). The tagged, index-based variant used for explicit node
+// reuse lives in internal/arena.
+package stack
+
+import "sync/atomic"
+
+// Stack is Treiber's lock-free LIFO stack. The zero value is an empty stack
+// ready for use by any number of goroutines.
+type Stack[T any] struct {
+	top atomic.Pointer[node[T]]
+}
+
+type node[T any] struct {
+	value T
+	next  *node[T]
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(v T) {
+	n := &node[T]{value: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the value on top of the stack; the second result
+// is false if the stack was empty.
+func (s *Stack[T]) Pop() (T, bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			var zero T
+			return zero, false
+		}
+		// top.next cannot be recycled under us: the GC keeps the popped
+		// node (and thus its next pointer) valid while we hold top.
+		if s.top.CompareAndSwap(top, top.next) {
+			return top.value, true
+		}
+	}
+}
+
+// Empty reports whether the stack was empty at some instant during the call.
+func (s *Stack[T]) Empty() bool { return s.top.Load() == nil }
+
+// Len counts the nodes currently in the stack by walking it. It is intended
+// for tests and diagnostics; the result is only meaningful when the stack is
+// quiescent.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for p := s.top.Load(); p != nil; p = p.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package stack
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Stack[int]
+	if !s.Empty() {
+		t.Fatal("zero-value stack is not empty")
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty stack reported a value")
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	var s Stack[int]
+	for i := 1; i <= 5; i++ {
+		s.Push(i)
+	}
+	if got := s.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	for want := 5; want >= 1; want-- {
+		v, ok := s.Pop()
+		if !ok {
+			t.Fatalf("Pop failed with %d values remaining", want)
+		}
+		if v != want {
+			t.Fatalf("Pop = %d, want %d", v, want)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after popping everything")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var s Stack[string]
+	s.Push("a")
+	s.Push("b")
+	if v, _ := s.Pop(); v != "b" {
+		t.Fatalf("Pop = %q, want b", v)
+	}
+	s.Push("c")
+	if v, _ := s.Pop(); v != "c" {
+		t.Fatalf("Pop = %q, want c", v)
+	}
+	if v, _ := s.Pop(); v != "a" {
+		t.Fatalf("Pop = %q, want a", v)
+	}
+}
+
+func TestSequentialMatchesModel(t *testing.T) {
+	// Property: any sequence of pushes and pops matches a slice model.
+	f := func(ops []int16) bool {
+		var (
+			s     Stack[int16]
+			model []int16
+		)
+		for _, op := range ops {
+			if op >= 0 {
+				s.Push(op)
+				model = append(model, op)
+				continue
+			}
+			v, ok := s.Pop()
+			if len(model) == 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			want := model[len(model)-1]
+			model = model[:len(model)-1]
+			if !ok || v != want {
+				return false
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	// Every pushed value is popped exactly once; nothing is invented.
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5000
+	)
+	var (
+		s    Stack[int]
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen = make(map[int]int, producers*perProd)
+		done = make(chan struct{})
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				s.Push(p*perProd + i)
+			}
+		}(p)
+	}
+	var consumed sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			local := make(map[int]int)
+			for {
+				v, ok := s.Pop()
+				if ok {
+					local[v]++
+					continue
+				}
+				select {
+				case <-done:
+					// Producers finished; drain whatever remains.
+					for {
+						v, ok := s.Pop()
+						if !ok {
+							mu.Lock()
+							for k, n := range local {
+								seen[k] += n
+							}
+							mu.Unlock()
+							return
+						}
+						local[v]++
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	consumed.Wait()
+
+	if len(seen) != producers*perProd {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+}
