@@ -25,6 +25,7 @@ import (
 	"msqueue/internal/harness"
 	"msqueue/internal/linearizability"
 	"msqueue/internal/queue"
+	"msqueue/internal/sharded"
 )
 
 // benchFigure runs one figure's sweep: for each paper algorithm and each
@@ -265,4 +266,105 @@ func BenchmarkBlockingWrapper(b *testing.B) {
 		q.Enqueue(i)
 	}
 	<-done
+}
+
+// BenchmarkShardedShardCount sweeps the shard count for the relaxed
+// sharded queue — 1, 2, 4 shards and one per GOMAXPROCS — against the
+// unsharded MS queue as the strict-FIFO baseline, under RunParallel
+// enqueue/dequeue pairs. With a single shard the sharded queue should
+// track the MS queue plus a small dispatch overhead; with more shards
+// the contention on any one MS queue drops (visible on multi-core
+// machines; on one core all shard counts share a single CAS stream).
+func BenchmarkShardedShardCount(b *testing.B) {
+	b.Run("ms-baseline", func(b *testing.B) {
+		q := core.NewMS[int]()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q.Enqueue(i)
+				q.Dequeue()
+				i++
+			}
+		})
+	})
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		counts = append(counts, g)
+	}
+	for _, n := range counts {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			q := sharded.New[int](n)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q.Enqueue(i)
+					q.Dequeue()
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedProducerHandle measures the contractual enqueue path:
+// a pinned Producer handle versus the pooled plain Enqueue. The handle
+// skips the sync.Pool round trip, so it should be at least as fast.
+func BenchmarkShardedProducerHandle(b *testing.B) {
+	b.Run("plain-enqueue", func(b *testing.B) {
+		q := sharded.New[int](4)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q.Enqueue(i)
+				q.Dequeue()
+				i++
+			}
+		})
+	})
+	b.Run("producer-handle", func(b *testing.B) {
+		q := sharded.New[int](4)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			p := q.Producer()
+			i := 0
+			for pb.Next() {
+				p.Enqueue(i)
+				q.Dequeue()
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkShardedStealPath isolates the work-stealing slow path: every
+// item lands in one shard via a pinned producer that is deliberately NOT
+// the consumer's home shard (producer handles are handed out round-robin,
+// so the second handle pins to shard 1 while the first pooled consumer
+// token homes on shard 0). Every dequeue then misses home, scans, and
+// steals. Compare with shards=1, where producer and consumer necessarily
+// share the only shard and every dequeue is a home hit.
+func BenchmarkShardedStealPath(b *testing.B) {
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			q := sharded.New[int](n)
+			q.Producer() // discard the shard-0 handle
+			p := q.Producer()
+			b.ReportAllocs()
+			const batch = 256
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					p.Enqueue(j)
+				}
+				for j := 0; j < batch; j++ {
+					if _, ok := q.Dequeue(); !ok {
+						b.Fatal("lost item under single-goroutine use")
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch*2), "ns/op-amortised")
+		})
+	}
 }

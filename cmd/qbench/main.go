@@ -11,6 +11,7 @@
 //	qbench -figure 4 -algos ms,two-lock      # a subset of contenders
 //	qbench -experiment valois-memory         # the free-list exhaustion run
 //	qbench -figure 3 -csv fig3.csv           # machine-readable series
+//	qbench -figure 3 -algos ms,sharded -shards 8   # relaxed sharded queue vs MS
 //
 // Absolute times differ from the 1996 SGI Challenge, and on machines with
 // fewer cores than -procs the "dedicated" figure degrades into a
@@ -52,12 +53,33 @@ func run(args []string) error {
 		algosFlag  = fs.String("algos", "", `comma-separated algorithm subset, or "all" (default: the paper's six); see -list`)
 		repeats    = fs.Int("repeats", 1, "runs per point, keeping the minimum")
 		capacity   = fs.Int("cap", harness.DefaultCapacity, "node capacity for bounded (tagged) queues")
+		shards     = fs.Int("shards", 0, `shard count for the relaxed "sharded" algorithm (0 = GOMAXPROCS); requires "sharded" in -algos`)
 		csvPath    = fs.String("csv", "", "also write the series as CSV to this file (one figure only)")
 		list       = fs.Bool("list", false, "list the available algorithms and exit")
 		quiet      = fs.Bool("quiet", false, "suppress per-point progress lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Validate flag values and combinations up front, so a misconfigured
+	// sweep fails with a clear message instead of panicking mid-run or
+	// silently measuring the wrong thing.
+	switch {
+	case *procs < 1:
+		return fmt.Errorf("-procs must be a positive processor count, got %d", *procs)
+	case *pairs < 1:
+		return fmt.Errorf("-pairs must be a positive pair count, got %d", *pairs)
+	case *repeats < 1:
+		return fmt.Errorf("-repeats must be >= 1, got %d", *repeats)
+	case *capacity < 1:
+		return fmt.Errorf("-cap must be a positive node capacity, got %d", *capacity)
+	case *shards < 0:
+		return fmt.Errorf("-shards must be >= 0 (0 selects GOMAXPROCS), got %d", *shards)
+	case *shards > 0 && *experiment != "":
+		return fmt.Errorf("-shards applies to figure sweeps, not to -experiment %q", *experiment)
+	case *figures != "" && *experiment != "":
+		return fmt.Errorf("-figure and -experiment are mutually exclusive; pass one")
 	}
 
 	if *otherWork == 0 {
@@ -108,6 +130,26 @@ func run(args []string) error {
 		}
 	}
 
+	if *shards > 0 {
+		// -shards only parameterizes the relaxed sharded algorithm; the
+		// paper's contenders (and the other strict-FIFO ablations) have no
+		// shard count, so requesting one for them is a misconfiguration.
+		replaced := false
+		for i, info := range algos {
+			if info.Relaxed {
+				algos[i] = algorithms.Sharded(*shards)
+				replaced = true
+			}
+		}
+		if !replaced {
+			selected := *algosFlag
+			if selected == "" {
+				selected = "the paper's six contenders"
+			}
+			return fmt.Errorf(`-shards %d applies only to the relaxed "sharded" algorithm, but the selection (%s) is strict-FIFO only; add it with -algos sharded or -algos all`, *shards, selected)
+		}
+	}
+
 	nums, err := parseFigures(*figures)
 	if err != nil {
 		return err
@@ -151,6 +193,28 @@ func run(args []string) error {
 			fmt.Printf("series written to %s\n", *csvPath)
 		}
 		fmt.Println()
+	}
+
+	// For relaxed (sharded) contenders, one extra diagnostic run exposes
+	// the per-shard traffic split the figures average away: affinity
+	// balance, steal share, residual occupancy.
+	for _, info := range algos {
+		if !info.Relaxed {
+			continue
+		}
+		res, err := harness.Run(harness.Config{
+			New:               info.New,
+			Processors:        *procs,
+			ProcsPerProcessor: 1,
+			Pairs:             *pairs,
+			OtherWork:         -1,
+			Capacity:          *capacity,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("per-shard counters for %q (p=%d, %d pairs, no other work; one diagnostic run):\n%s\n",
+			info.Display, *procs, *pairs, stats.ShardTable(res.ShardStats))
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -94,6 +95,54 @@ func TestValoisMemoryExperimentSmall(t *testing.T) {
 
 func TestContentionExperimentSmall(t *testing.T) {
 	if err := contentionExperiment(2000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidatesFlagsUpFront(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring expected in the error
+	}{
+		{name: "zero procs", args: []string{"-figure", "3", "-procs", "0"}, want: "-procs"},
+		{name: "negative procs", args: []string{"-figure", "3", "-procs", "-2"}, want: "-procs"},
+		{name: "zero pairs", args: []string{"-figure", "3", "-pairs", "0"}, want: "-pairs"},
+		{name: "zero repeats", args: []string{"-figure", "3", "-repeats", "0"}, want: "-repeats"},
+		{name: "zero cap", args: []string{"-figure", "3", "-cap", "0"}, want: "-cap"},
+		{name: "negative shards", args: []string{"-figure", "3", "-shards", "-1"}, want: "-shards"},
+		{name: "shards with experiment", args: []string{"-experiment", "contention", "-shards", "2"}, want: "-shards"},
+		{name: "figure and experiment", args: []string{"-figure", "3", "-experiment", "contention"}, want: "mutually exclusive"},
+		{name: "shards with paper algos", args: []string{"-figure", "3", "-shards", "4"}, want: "sharded"},
+		{name: "shards with strict algo", args: []string{"-figure", "3", "-algos", "ms", "-shards", "4"}, want: "sharded"},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil {
+				t.Fatalf("run(%v): want error", tt.args)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("run(%v) error = %q, want it to mention %q", tt.args, err, tt.want)
+			}
+		})
+	}
+}
+
+// TestRunTinyShardedFigure: -shards with the sharded algorithm selected
+// runs the sweep and prints the per-shard diagnostic table.
+func TestRunTinyShardedFigure(t *testing.T) {
+	err := run([]string{
+		"-figure", "3",
+		"-procs", "2",
+		"-pairs", "200",
+		"-otherwork", "0s",
+		"-algos", "ms,sharded",
+		"-shards", "2",
+		"-quiet",
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"msqueue/internal/hazard"
 	"msqueue/internal/locks"
 	"msqueue/internal/queue"
+	"msqueue/internal/sharded"
 )
 
 // Info describes one catalog entry.
@@ -27,9 +28,16 @@ type Info struct {
 	Display string
 	// Progress is the liveness class from the paper's taxonomy.
 	Progress queue.Progress
-	// Linearizable is false only for the deliberately flawed comparator
-	// (Stone's queue), whose violation the checker is expected to find.
+	// Linearizable is false for the deliberately flawed comparator
+	// (Stone's queue), whose violation the checker is expected to find,
+	// and for Relaxed entries, which trade global FIFO for scalability.
 	Linearizable bool
+	// Relaxed marks entries that satisfy only the queue.Relaxed contract
+	// (per-lane FIFO, per-producer order, conservation) instead of
+	// linearizable global FIFO. They are verified by the relaxed-order
+	// checker in internal/queuetest, never by the linearizability checker,
+	// and are excluded from the paper's figures (InPaper is false).
+	Relaxed bool
 	// InPaper marks the six algorithms measured in Figures 3–5.
 	InPaper bool
 	// New constructs a fresh empty queue of int values with capacity for at
@@ -185,6 +193,16 @@ func catalog() []Info {
 			},
 		},
 		{
+			Name:         "sharded",
+			Display:      "sharded MS (work-stealing, relaxed FIFO)",
+			Progress:     queue.NonBlocking,
+			Linearizable: false,
+			Relaxed:      true,
+			New: func(int) queue.Queue[int] {
+				return sharded.New[int](0) // 0: one shard per GOMAXPROCS
+			},
+		},
+		{
 			Name:         "stone",
 			Display:      "Stone 1990 (flawed)",
 			Progress:     queue.Blocking,
@@ -194,6 +212,21 @@ func catalog() []Info {
 			},
 		},
 	}
+}
+
+// Sharded returns the sharded work-stealing entry with an explicit shard
+// count (cmd/qbench's -shards flag). shards <= 0 selects GOMAXPROCS, the
+// catalog default.
+func Sharded(shards int) Info {
+	info, err := Lookup("sharded")
+	if err != nil {
+		panic("algorithms: catalog has no sharded entry: " + err.Error())
+	}
+	if shards > 0 {
+		info.Display = fmt.Sprintf("%s, %d shards", info.Display, shards)
+		info.New = func(int) queue.Queue[int] { return sharded.New[int](shards) }
+	}
+	return info
 }
 
 // Lookup returns the catalog entry with the given name.

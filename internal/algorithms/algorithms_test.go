@@ -63,8 +63,14 @@ func TestEveryEntryConstructsAWorkingQueue(t *testing.T) {
 			if q == nil {
 				t.Fatal("New returned nil")
 			}
+			// Relaxed entries only promise FIFO through a pinned producer
+			// handle; everything else keeps order on plain Enqueue.
+			var enq queue.Enqueuer[int] = q
+			if r, ok := q.(queue.Relaxed[int]); ok {
+				enq = r.Producer()
+			}
 			for i := 0; i < 10; i++ {
-				q.Enqueue(i)
+				enq.Enqueue(i)
 			}
 			for i := 0; i < 10; i++ {
 				v, ok := q.Dequeue()
@@ -100,12 +106,57 @@ func TestTaxonomyMatchesPaper(t *testing.T) {
 	}
 }
 
-func TestOnlyStoneIsNonLinearizable(t *testing.T) {
+func TestOnlyStoneAndRelaxedAreNonLinearizable(t *testing.T) {
 	for _, info := range All() {
-		want := info.Name != "stone"
+		want := info.Name != "stone" && !info.Relaxed
 		if info.Linearizable != want {
 			t.Errorf("%s: Linearizable = %v, want %v", info.Name, info.Linearizable, want)
 		}
+	}
+}
+
+func TestRelaxedEntriesStayOutOfPaperFigures(t *testing.T) {
+	for _, info := range All() {
+		if info.Relaxed && info.InPaper {
+			t.Errorf("%s: relaxed entries must not appear in the paper's figures", info.Name)
+		}
+	}
+	info, err := Lookup("sharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Relaxed || info.Linearizable || info.InPaper {
+		t.Fatalf("sharded entry flags = %+v, want Relaxed, not Linearizable, not InPaper", info)
+	}
+	q, ok := info.New(64).(queue.Relaxed[int])
+	if !ok {
+		t.Fatal("sharded entry does not implement queue.Relaxed")
+	}
+	g := q.RelaxedGuarantees()
+	if g.Lanes < 1 || !g.PerLaneFIFO || !g.PerProducerOrder || !g.NoLoss || !g.NoDuplication || !g.EventualDrain {
+		t.Fatalf("sharded guarantees = %+v", g)
+	}
+}
+
+func TestShardedInfoOverridesShardCount(t *testing.T) {
+	info := Sharded(3)
+	q, ok := info.New(64).(interface{ Shards() int })
+	if !ok {
+		t.Fatal("Sharded(3).New does not expose Shards()")
+	}
+	if got := q.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want 3", got)
+	}
+	if !strings.Contains(info.Display, "3 shards") {
+		t.Fatalf("Display = %q, want shard count mentioned", info.Display)
+	}
+	// Sharded(0) is the unmodified catalog entry (GOMAXPROCS default).
+	plain, err := Lookup("sharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Sharded(0).Display; got != plain.Display {
+		t.Fatalf("Sharded(0).Display = %q, want %q", got, plain.Display)
 	}
 }
 

@@ -1,0 +1,27 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"msqueue/internal/baseline"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+// TestBoundedConformance runs the queue.Bounded suite against this
+// package's bounded implementations: Valois's arena-backed queue and
+// Lamport's SPSC ring (the suite is sequential, so the ring's
+// single-producer/single-consumer restriction is respected).
+func TestBoundedConformance(t *testing.T) {
+	t.Run("valois", func(t *testing.T) {
+		queuetest.RunBounded(t, func(cap int) queue.Bounded[int] {
+			// One extra node for the dummy, as the catalog allocates it.
+			return queuetest.BoundedUint64(baseline.NewValois(cap + 1))
+		}, queuetest.BoundedOptions{})
+	})
+	t.Run("lamport", func(t *testing.T) {
+		queuetest.RunBounded(t, func(cap int) queue.Bounded[int] {
+			return baseline.NewLamport[int](cap)
+		}, queuetest.BoundedOptions{})
+	})
+}

@@ -1,0 +1,26 @@
+package core_test
+
+import (
+	"testing"
+
+	"msqueue/internal/core"
+	"msqueue/internal/locks"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+// TestBoundedConformance runs the queue.Bounded suite (TryEnqueue
+// exhaustion, non-blocking refusal, node reuse after drain) against the
+// tagged free-list variants in this package.
+func TestBoundedConformance(t *testing.T) {
+	t.Run("ms-tagged", func(t *testing.T) {
+		queuetest.RunBounded(t, func(cap int) queue.Bounded[int] {
+			return queuetest.BoundedUint64(core.NewMSTagged(cap))
+		}, queuetest.BoundedOptions{})
+	})
+	t.Run("two-lock-tagged", func(t *testing.T) {
+		queuetest.RunBounded(t, func(cap int) queue.Bounded[int] {
+			return queuetest.BoundedUint64(core.NewTwoLockTagged(cap, new(locks.TTAS), new(locks.TTAS)))
+		}, queuetest.BoundedOptions{})
+	})
+}

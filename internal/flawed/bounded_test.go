@@ -1,0 +1,19 @@
+package flawed_test
+
+import (
+	"testing"
+
+	"msqueue/internal/flawed"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+// TestBoundedConformance runs the queue.Bounded suite against Stone's
+// tagged queue. The suite is sequential; Stone's published races need
+// concurrency (plus a stalled process) to trigger, so even the flawed
+// comparator must speak the bounded free-list contract correctly.
+func TestBoundedConformance(t *testing.T) {
+	queuetest.RunBounded(t, func(cap int) queue.Bounded[int] {
+		return queuetest.BoundedUint64(flawed.NewStoneTagged(cap))
+	}, queuetest.BoundedOptions{})
+}

@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"msqueue/internal/queue"
+	"msqueue/internal/sharded"
+	"msqueue/internal/stats"
 	"msqueue/internal/workload"
 )
 
@@ -71,6 +73,9 @@ type Result struct {
 	Net time.Duration
 	// EmptyDequeues counts dequeue operations that found the queue empty.
 	EmptyDequeues int64
+	// ShardStats holds per-shard occupancy and steal counters when the
+	// queue under test is sharded (nil otherwise).
+	ShardStats []stats.ShardRow
 }
 
 // PerPair returns the net time per enqueue/dequeue pair.
@@ -169,12 +174,24 @@ func Run(cfg Config) (Result, error) {
 		net = 0
 	}
 
-	return Result{
+	res := Result{
 		Processes:     procs,
 		Pairs:         cfg.Pairs,
 		Total:         total,
 		OtherWork:     owTotal,
 		Net:           net,
 		EmptyDequeues: empties.Load(),
-	}, nil
+	}
+	if s, ok := q.(interface{ Stats() []sharded.ShardStat }); ok {
+		for _, st := range s.Stats() {
+			res.ShardStats = append(res.ShardStats, stats.ShardRow{
+				Enqueues:    st.Enqueues,
+				Dequeues:    st.Dequeues,
+				Steals:      st.Steals,
+				StealMisses: st.StealMisses,
+				Occupancy:   st.Occupancy(),
+			})
+		}
+	}
+	return res, nil
 }

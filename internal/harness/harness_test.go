@@ -8,6 +8,7 @@ import (
 
 	"msqueue/internal/algorithms"
 	"msqueue/internal/queue"
+	"msqueue/internal/sharded"
 	"msqueue/internal/workload"
 )
 
@@ -221,5 +222,48 @@ func TestRunRestoresGOMAXPROCS(t *testing.T) {
 	}
 	if after := runtime.GOMAXPROCS(0); after != before {
 		t.Fatalf("GOMAXPROCS = %d after Run, want %d restored", after, before)
+	}
+}
+
+// TestRunReportsShardStats: when the queue under test is sharded, the
+// result carries its per-shard counters; for every other algorithm the
+// field stays nil.
+func TestRunReportsShardStats(t *testing.T) {
+	const pairs = 400
+	res, err := Run(Config{
+		New:               func(int) queue.Queue[int] { return sharded.New[int](4) },
+		Processors:        2,
+		ProcsPerProcessor: 1,
+		Pairs:             pairs,
+		OtherWork:         -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardStats) != 4 {
+		t.Fatalf("got %d shard rows, want 4", len(res.ShardStats))
+	}
+	var enq, removed, occ int64
+	for _, row := range res.ShardStats {
+		enq += row.Enqueues
+		removed += row.Dequeues + row.Steals
+		occ += row.Occupancy
+	}
+	if enq != pairs {
+		t.Fatalf("total shard enqueues = %d, want %d", enq, pairs)
+	}
+	if removed+res.EmptyDequeues < pairs || removed > pairs {
+		t.Fatalf("removed = %d, empty dequeues = %d: conservation broken for %d pairs", removed, res.EmptyDequeues, pairs)
+	}
+	if occ != enq-removed {
+		t.Fatalf("occupancy = %d, want enqueues-removed = %d", occ, enq-removed)
+	}
+
+	res, err = Run(Config{New: msInfo(t), Processors: 1, ProcsPerProcessor: 1, Pairs: 10, OtherWork: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardStats != nil {
+		t.Fatalf("unsharded queue reported shard stats: %v", res.ShardStats)
 	}
 }

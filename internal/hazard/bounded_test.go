@@ -1,0 +1,22 @@
+package hazard_test
+
+import (
+	"testing"
+
+	"msqueue/internal/hazard"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+// TestBoundedConformance runs the queue.Bounded suite against the
+// hazard-pointer queue. Reclamation is deferred (dequeued nodes sit on a
+// retire list until a scan proves no announcement covers them), so the
+// suite's Settle hook quiesces the domain before the reuse phase — the
+// exhaustion and drain phases themselves need no help.
+func TestBoundedConformance(t *testing.T) {
+	var q *hazard.Queue
+	queuetest.RunBounded(t, func(cap int) queue.Bounded[int] {
+		q = hazard.New(cap)
+		return queuetest.BoundedUint64(q)
+	}, queuetest.BoundedOptions{Settle: func() { q.Quiesce() }})
+}

@@ -22,6 +22,14 @@ type Queue[T any] interface {
 	Dequeue() (T, bool)
 }
 
+// Enqueuer is the producing half of the queue contract. Queue itself
+// satisfies it; relaxed queues also hand out lane-pinned Enqueuers (see
+// Relaxed.Producer).
+type Enqueuer[T any] interface {
+	// Enqueue appends v.
+	Enqueue(v T)
+}
+
 // Bounded is implemented by queues backed by a fixed-capacity node arena
 // (the tagged, free-list-based variants). TryEnqueue reports false when the
 // free list is exhausted instead of blocking or growing.
@@ -30,6 +38,51 @@ type Bounded[T any] interface {
 	// TryEnqueue appends v if a free node is available and reports whether
 	// it did.
 	TryEnqueue(v T) bool
+}
+
+// Guarantees itemizes the properties a Relaxed queue retains after giving
+// up global FIFO order. The relaxed-order checker in internal/queuetest
+// verifies exactly these properties under concurrent stress.
+type Guarantees struct {
+	// Lanes is the number of independent FIFO lanes (shards) items are
+	// striped across. A queue with one lane is globally FIFO.
+	Lanes int
+	// PerLaneFIFO: within one lane, items leave in the order they entered.
+	PerLaneFIFO bool
+	// PerProducerOrder: items enqueued through a single Producer handle are
+	// observed in enqueue order by any single consumer.
+	PerProducerOrder bool
+	// NoLoss: every enqueued item is eventually dequeued (exactly the
+	// conservation property of the linearizable contract).
+	NoLoss bool
+	// NoDuplication: no item is dequeued twice.
+	NoDuplication bool
+	// EventualDrain: once producers stop, repeated dequeues recover every
+	// remaining item before the queue reports empty persistently. An empty
+	// report while producers are active is advisory only — a relaxed queue
+	// may report empty even though some lane momentarily holds an item.
+	EventualDrain bool
+}
+
+// Relaxed is implemented by queues that deliberately relax the global FIFO
+// order of the Queue contract in exchange for scalability — e.g. by
+// striping items across independent lanes. A Relaxed queue still satisfies
+// the Queue method set, but its Dequeue order is only constrained by
+// RelaxedGuarantees, and it is NOT linearizable with respect to the
+// sequential FIFO specification. Callers who need a strict per-producer
+// order must enqueue through a Producer handle; the plain Enqueue method
+// preserves it only best-effort (an implementation may migrate a
+// goroutine's lane affinity between calls).
+type Relaxed[T any] interface {
+	Queue[T]
+	// Producer returns an enqueue handle pinned to a single FIFO lane.
+	// Items enqueued through one handle are mutually ordered (per-producer
+	// FIFO). Handles are safe for concurrent use, but sharing one merges
+	// the sharers' orders. Handles are cheap; create one per producer.
+	Producer() Enqueuer[T]
+	// RelaxedGuarantees reports which ordering and conservation properties
+	// the implementation retains.
+	RelaxedGuarantees() Guarantees
 }
 
 // Progress classifies an algorithm's liveness guarantee using the paper's

@@ -1,0 +1,119 @@
+package queuetest
+
+import (
+	"testing"
+
+	"msqueue/internal/queue"
+)
+
+// BoundedOptions tunes RunBounded for a particular implementation.
+type BoundedOptions struct {
+	// Capacity is passed to the constructor. Zero selects a small default
+	// so exhaustion is cheap to reach. Implementations may hold slightly
+	// more or fewer items than Capacity (dummy nodes, rounding,
+	// reclamation slack); RunBounded asserts reuse against the observed
+	// count, not the nominal one.
+	Capacity int
+	// Settle, when non-nil, runs between the drain and the reuse check.
+	// Deferred-reclamation queues (hazard pointers) use it to flush
+	// retired-but-unreclaimed nodes so the free list is whole again.
+	Settle func()
+}
+
+const defaultBoundedCapacity = 256
+
+// RunBounded exercises the queue.Bounded contract: TryEnqueue must report
+// false — without blocking — once the free list is exhausted, and must
+// succeed again after a drain returns the nodes. The suite is sequential,
+// so it is also safe for restricted-concurrency implementations (the
+// Lamport SPSC ring).
+func RunBounded(t *testing.T, newQueue func(cap int) queue.Bounded[int], opts BoundedOptions) {
+	t.Helper()
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = defaultBoundedCapacity
+	}
+	q := newQueue(capacity)
+
+	// Fill until TryEnqueue reports exhaustion. The limit catches
+	// implementations that never say no (which would make TryEnqueue a
+	// blocking or unbounded Enqueue in disguise).
+	limit := 4*capacity + 64
+	filled := 0
+	for filled < limit && q.TryEnqueue(filled) {
+		filled++
+	}
+	switch {
+	case filled == limit:
+		t.Fatalf("TryEnqueue accepted %d items on a queue built with capacity %d: never reported exhaustion", filled, capacity)
+	case filled == 0:
+		t.Fatalf("TryEnqueue refused the first item on an empty queue of capacity %d", capacity)
+	case filled < capacity/2:
+		t.Fatalf("TryEnqueue exhausted after %d items, well under capacity %d", filled, capacity)
+	}
+
+	// Exhaustion must be stable and non-blocking: repeated attempts return
+	// false immediately rather than spinning for a free node.
+	for i := 0; i < 3; i++ {
+		if q.TryEnqueue(-1) {
+			t.Fatalf("TryEnqueue succeeded on an exhausted queue (attempt %d)", i)
+		}
+	}
+
+	// Drain: every accepted item comes back, in FIFO order, and nothing
+	// else (the rejected -1 values must not appear).
+	for i := 0; i < filled; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("queue empty after %d dequeues, want %d", i, filled)
+		}
+		if v != i {
+			t.Fatalf("Dequeue = %d, want %d", v, i)
+		}
+	}
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("Dequeue on drained queue returned %d", v)
+	}
+
+	if opts.Settle != nil {
+		opts.Settle()
+	}
+
+	// Reuse: the drain returned every node, so the queue must accept the
+	// same number of items again and then exhaust at the same point.
+	for i := 0; i < filled; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("after drain, TryEnqueue refused item %d of %d: nodes not reused", i, filled)
+		}
+	}
+	if q.TryEnqueue(-1) {
+		t.Fatal("after refill, TryEnqueue accepted more items than the first fill: free list grew")
+	}
+	for i := 0; i < filled; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("second drain: Dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty after second drain")
+	}
+}
+
+// boundedUint64 adapts a uint64-valued bounded queue to queue.Bounded[int]
+// for RunBounded. The suite only uses non-negative values, so the
+// conversion is exact.
+type boundedUint64 struct {
+	q queue.Bounded[uint64]
+}
+
+// BoundedUint64 wraps the uint64-valued tagged queues (the arena-backed
+// variants store packed words) for RunBounded.
+func BoundedUint64(q queue.Bounded[uint64]) queue.Bounded[int] { return boundedUint64{q: q} }
+
+func (b boundedUint64) Enqueue(v int)         { b.q.Enqueue(uint64(v)) }
+func (b boundedUint64) TryEnqueue(v int) bool { return b.q.TryEnqueue(uint64(v)) }
+func (b boundedUint64) Dequeue() (int, bool) {
+	v, ok := b.q.Dequeue()
+	return int(v), ok
+}

@@ -1,0 +1,324 @@
+package queuetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"msqueue/internal/queue"
+)
+
+// This file is the relaxed-contract analogue of the linearizability-based
+// suite in queuetest.go. A queue.Relaxed implementation deliberately gives
+// up global FIFO order, so the linearizability checker cannot be reused:
+// it would (correctly) report order violations that the relaxed contract
+// permits. CheckRelaxed instead verifies exactly the properties the
+// contract keeps — conservation (no loss, no duplication, no invented
+// items), per-producer order as observed by each consumer, and eventual
+// drain — and reports everything it finds as typed violations so negative
+// tests can assert that seeded bugs are caught.
+
+// RelaxedViolationKind classifies one relaxed-contract violation.
+type RelaxedViolationKind int
+
+const (
+	// RelaxedLost: an enqueued item was never dequeued (conservation).
+	RelaxedLost RelaxedViolationKind = iota + 1
+	// RelaxedDuplicated: an item was dequeued more than once.
+	RelaxedDuplicated
+	// RelaxedPhantom: a dequeue returned a value nobody enqueued.
+	RelaxedPhantom
+	// RelaxedOrder: one consumer observed a producer's items out of the
+	// order that producer enqueued them.
+	RelaxedOrder
+)
+
+// String returns a short label for the kind.
+func (k RelaxedViolationKind) String() string {
+	switch k {
+	case RelaxedLost:
+		return "lost"
+	case RelaxedDuplicated:
+		return "duplicated"
+	case RelaxedPhantom:
+		return "phantom"
+	case RelaxedOrder:
+		return "producer-order"
+	default:
+		return fmt.Sprintf("RelaxedViolationKind(%d)", int(k))
+	}
+}
+
+// RelaxedViolation is one relaxed-contract violation found by CheckRelaxed.
+type RelaxedViolation struct {
+	Kind   RelaxedViolationKind
+	Detail string
+}
+
+// String formats the violation for test output.
+func (v RelaxedViolation) String() string { return v.Kind.String() + ": " + v.Detail }
+
+// RelaxedConfig sizes one CheckRelaxed stress round.
+type RelaxedConfig struct {
+	// Producers and Consumers are the concurrent goroutine counts.
+	Producers, Consumers int
+	// PerProducer is the number of items each producer enqueues. It must
+	// stay below 2^20: values are encoded producer<<20|sequence.
+	PerProducer int
+	// Capacity is passed to the queue constructor.
+	Capacity int
+}
+
+const maxViolations = 32
+
+// CheckRelaxed runs one concurrent stress round against a queue built by
+// newQueue and returns every relaxed-contract violation it can prove:
+// lost, duplicated or phantom items, and per-producer order inversions as
+// observed by any single consumer. A nil/empty result means the round
+// produced no evidence against the contract.
+//
+// If the queue implements queue.Relaxed, producers enqueue through
+// Producer handles (the contract's strict-order path); otherwise they use
+// plain Enqueue, which every linearizable queue must also keep ordered.
+func CheckRelaxed(newQueue func(cap int) queue.Queue[int], cfg RelaxedConfig) []RelaxedViolation {
+	if cfg.Producers < 1 || cfg.Consumers < 1 || cfg.PerProducer < 1 {
+		panic("queuetest: CheckRelaxed needs at least one producer, consumer and item")
+	}
+	if cfg.PerProducer >= 1<<20 {
+		panic("queuetest: PerProducer must be below 2^20")
+	}
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = defaultCapacity
+	}
+	q := newQueue(capacity)
+
+	var (
+		prodWG sync.WaitGroup
+		consWG sync.WaitGroup
+		done   = make(chan struct{})
+		logs   = make([][]int, cfg.Consumers)
+	)
+	for p := 0; p < cfg.Producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			var enq queue.Enqueuer[int] = q
+			if r, ok := q.(queue.Relaxed[int]); ok {
+				enq = r.Producer()
+			}
+			for i := 0; i < cfg.PerProducer; i++ {
+				enq.Enqueue(p<<20 | i)
+			}
+		}(p)
+	}
+	for c := 0; c < cfg.Consumers; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			log := make([]int, 0, cfg.Producers*cfg.PerProducer/cfg.Consumers+1)
+			for {
+				if v, ok := q.Dequeue(); ok {
+					log = append(log, v)
+					continue
+				}
+				select {
+				case <-done:
+					// Producers are finished: drain until a full pass finds
+					// nothing (the eventual-drain path).
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							logs[c] = log
+							return
+						}
+						log = append(log, v)
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	prodWG.Wait()
+	close(done)
+	consWG.Wait()
+
+	// A final sweep by this goroutine: anything still resident is not a
+	// violation by itself (a racing consumer may have exited between the
+	// last item's arrival and its own empty pass), but it must be recovered
+	// now for conservation to balance.
+	var residue []int
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		residue = append(residue, v)
+	}
+
+	var vs []RelaxedViolation
+	add := func(kind RelaxedViolationKind, format string, a ...any) bool {
+		if len(vs) >= maxViolations {
+			return false
+		}
+		vs = append(vs, RelaxedViolation{Kind: kind, Detail: fmt.Sprintf(format, a...)})
+		return len(vs) < maxViolations
+	}
+
+	// Per-producer order, per consumer: in each consumer's log, a given
+	// producer's sequence numbers must be strictly increasing. (Per-shard
+	// FIFO plus a pinned producer lane implies exactly this observable.)
+	for c, log := range logs {
+		last := make(map[int]int)
+		for _, v := range log {
+			p, seq := v>>20, v&(1<<20-1)
+			if prev, ok := last[p]; ok && seq <= prev {
+				if !add(RelaxedOrder, "consumer %d saw producer %d seq %d after seq %d", c, p, seq, prev) {
+					return vs
+				}
+			}
+			last[p] = seq
+		}
+	}
+
+	// Conservation across all consumers plus the final sweep.
+	counts := make(map[int]int, cfg.Producers*cfg.PerProducer)
+	for _, log := range logs {
+		for _, v := range log {
+			counts[v]++
+		}
+	}
+	for _, v := range residue {
+		counts[v]++
+	}
+	for p := 0; p < cfg.Producers; p++ {
+		for i := 0; i < cfg.PerProducer; i++ {
+			v := p<<20 | i
+			switch n := counts[v]; {
+			case n == 0:
+				if !add(RelaxedLost, "producer %d seq %d never dequeued", p, i) {
+					return vs
+				}
+			case n > 1:
+				if !add(RelaxedDuplicated, "producer %d seq %d dequeued %d times", p, i, n) {
+					return vs
+				}
+			}
+			delete(counts, v)
+		}
+	}
+	for v, n := range counts {
+		if !add(RelaxedPhantom, "value %#x dequeued %d time(s) but never enqueued", v, n) {
+			return vs
+		}
+	}
+	return vs
+}
+
+// RunRelaxed executes the relaxed-contract conformance suite against
+// queues built by newQueue: the analogue of Run for queue.Relaxed
+// implementations, for which the linearizability-based suite would
+// (correctly) reject the permitted global reordering.
+func RunRelaxed(t *testing.T, newQueue func(cap int) queue.Queue[int], opts Options) {
+	t.Helper()
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = defaultCapacity
+	}
+	build := func() queue.Queue[int] { return newQueue(capacity) }
+
+	t.Run("EmptyDequeue", func(t *testing.T) { testEmptyDequeue(t, build) })
+	t.Run("SingleProducerFIFO", func(t *testing.T) { testRelaxedSingleProducerFIFO(t, build) })
+	t.Run("EventualDrain", func(t *testing.T) { testRelaxedEventualDrain(t, build) })
+	t.Run("ConcurrentContract", func(t *testing.T) {
+		perProd := 4000
+		if testing.Short() {
+			perProd = 500
+		}
+		shapes := []RelaxedConfig{
+			{Producers: 4, Consumers: 4, PerProducer: perProd},
+			{Producers: 8, Consumers: 2, PerProducer: perProd},
+			{Producers: 2, Consumers: 8, PerProducer: perProd},
+		}
+		for _, cfg := range shapes {
+			cfg.Capacity = capacity
+			vs := CheckRelaxed(newQueue, cfg)
+			for i, v := range vs {
+				if i == 5 {
+					t.Errorf("%dp/%dc: ... and %d more violations", cfg.Producers, cfg.Consumers, len(vs)-5)
+					break
+				}
+				t.Errorf("%dp/%dc: %v", cfg.Producers, cfg.Consumers, v)
+			}
+			if len(vs) != 0 {
+				t.FailNow()
+			}
+		}
+	})
+}
+
+// testRelaxedSingleProducerFIFO: items enqueued through one Producer
+// handle occupy one lane, so a lone consumer must recover them in exact
+// enqueue order even though the queue as a whole is only relaxed-FIFO.
+func testRelaxedSingleProducerFIFO(t *testing.T, build func() queue.Queue[int]) {
+	q := build()
+	var enq queue.Enqueuer[int] = q
+	if r, ok := q.(queue.Relaxed[int]); ok {
+		enq = r.Producer()
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		enq.Enqueue(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("queue empty after %d dequeues, want %d", i, n)
+		}
+		if v != i {
+			t.Fatalf("Dequeue = %d, want %d: per-producer order broken", v, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+// testRelaxedEventualDrain: once producers stop, a single consumer must
+// recover every item before the queue reports empty persistently —
+// regardless of which lanes the items landed in.
+func testRelaxedEventualDrain(t *testing.T, build func() queue.Queue[int]) {
+	q := build()
+	const producers, perProd = 7, 300
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var enq queue.Enqueuer[int] = q
+			if r, ok := q.(queue.Relaxed[int]); ok {
+				enq = r.Producer()
+			}
+			for i := 0; i < perProd; i++ {
+				enq.Enqueue(p<<20 | i)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	seen := make(map[int]bool, producers*perProd)
+	for len(seen) < producers*perProd {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("queue reported empty with %d of %d items still unrecovered",
+				producers*perProd-len(seen), producers*perProd)
+		}
+		if seen[v] {
+			t.Fatalf("value %#x dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty after full drain")
+	}
+}

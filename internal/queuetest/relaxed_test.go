@@ -1,0 +1,156 @@
+package queuetest_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"msqueue/internal/core"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+// These are the negative tests for the relaxed-order checker: each seeds a
+// specific contract bug into an otherwise-correct queue and asserts the
+// checker convicts it with the right violation kind. The flawed wrappers
+// intentionally do NOT implement queue.Relaxed, so producers go through
+// plain Enqueue and only the wrapper's bug can cause violations (the
+// underlying MS queue is linearizable).
+
+// lossyQueue drops every dropEvery-th enqueued item.
+type lossyQueue struct {
+	queue.Queue[int]
+	n atomic.Int64
+}
+
+const dropEvery = 97
+
+func (l *lossyQueue) Enqueue(v int) {
+	if l.n.Add(1)%dropEvery == 0 {
+		return
+	}
+	l.Queue.Enqueue(v)
+}
+
+// dupQueue enqueues every dupEvery-th item twice.
+type dupQueue struct {
+	queue.Queue[int]
+	n atomic.Int64
+}
+
+const dupEvery = 101
+
+func (d *dupQueue) Enqueue(v int) {
+	d.Queue.Enqueue(v)
+	if d.n.Add(1)%dupEvery == 0 {
+		d.Queue.Enqueue(v)
+	}
+}
+
+// swapQueue reorders a producer's stream: every swapEvery-th item is held
+// back and emitted after its successor, inverting one adjacent pair.
+type swapQueue struct {
+	queue.Queue[int]
+	mu      sync.Mutex
+	n       int
+	pending int
+	held    bool
+}
+
+const swapEvery = 10
+
+func (s *swapQueue) Enqueue(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.held {
+		s.Queue.Enqueue(v)
+		s.Queue.Enqueue(s.pending)
+		s.held = false
+		return
+	}
+	s.n++
+	if s.n%swapEvery == 0 {
+		s.pending, s.held = v, true
+		return
+	}
+	s.Queue.Enqueue(v)
+}
+
+func checkKinds(t *testing.T, vs []queuetest.RelaxedViolation) map[queuetest.RelaxedViolationKind]int {
+	t.Helper()
+	kinds := make(map[queuetest.RelaxedViolationKind]int)
+	for _, v := range vs {
+		kinds[v.Kind]++
+	}
+	return kinds
+}
+
+func TestCheckRelaxedFindsSeededLoss(t *testing.T) {
+	vs := queuetest.CheckRelaxed(func(int) queue.Queue[int] {
+		return &lossyQueue{Queue: core.NewMS[int]()}
+	}, queuetest.RelaxedConfig{Producers: 4, Consumers: 4, PerProducer: 500})
+	if len(vs) == 0 {
+		t.Fatal("checker passed a queue that drops items")
+	}
+	if kinds := checkKinds(t, vs); kinds[queuetest.RelaxedLost] == 0 {
+		t.Fatalf("no lost-item violation among %v", vs)
+	}
+}
+
+func TestCheckRelaxedFindsSeededDuplication(t *testing.T) {
+	vs := queuetest.CheckRelaxed(func(int) queue.Queue[int] {
+		return &dupQueue{Queue: core.NewMS[int]()}
+	}, queuetest.RelaxedConfig{Producers: 4, Consumers: 4, PerProducer: 500})
+	if len(vs) == 0 {
+		t.Fatal("checker passed a queue that duplicates items")
+	}
+	if kinds := checkKinds(t, vs); kinds[queuetest.RelaxedDuplicated] == 0 {
+		t.Fatalf("no duplicated-item violation among %v", vs)
+	}
+}
+
+func TestCheckRelaxedFindsSeededOrderInversion(t *testing.T) {
+	// One producer, one consumer: any inversion the consumer sees is the
+	// wrapper's doing. PerProducer is not a multiple of swapEvery, so no
+	// item is still held back (which would read as loss) at the end.
+	vs := queuetest.CheckRelaxed(func(int) queue.Queue[int] {
+		return &swapQueue{Queue: core.NewMS[int]()}
+	}, queuetest.RelaxedConfig{Producers: 1, Consumers: 1, PerProducer: 1005})
+	if len(vs) == 0 {
+		t.Fatal("checker passed a queue that reorders a producer's items")
+	}
+	if kinds := checkKinds(t, vs); kinds[queuetest.RelaxedOrder] == 0 {
+		t.Fatalf("no producer-order violation among %v", vs)
+	}
+}
+
+// TestCheckRelaxedPassesLinearizableQueue: the relaxed contract is weaker
+// than linearizability, so the unmodified MS queue must pass cleanly —
+// the checker's false-positive control.
+func TestCheckRelaxedPassesLinearizableQueue(t *testing.T) {
+	vs := queuetest.CheckRelaxed(func(int) queue.Queue[int] {
+		return core.NewMS[int]()
+	}, queuetest.RelaxedConfig{Producers: 4, Consumers: 4, PerProducer: 1000})
+	if len(vs) != 0 {
+		t.Fatalf("violations against a linearizable queue: %v", vs)
+	}
+}
+
+func TestRelaxedViolationString(t *testing.T) {
+	v := queuetest.RelaxedViolation{Kind: queuetest.RelaxedLost, Detail: "x"}
+	if got := v.String(); got != "lost: x" {
+		t.Fatalf("String() = %q", got)
+	}
+	kinds := []queuetest.RelaxedViolationKind{
+		queuetest.RelaxedLost, queuetest.RelaxedDuplicated,
+		queuetest.RelaxedPhantom, queuetest.RelaxedOrder,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate label %q", int(k), s)
+		}
+		seen[s] = true
+	}
+}

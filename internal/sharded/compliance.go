@@ -1,0 +1,11 @@
+package sharded
+
+import "msqueue/internal/queue"
+
+// Compile-time checks that the sharded queue speaks both the plain queue
+// contract and the relaxed contract it was introduced for.
+var (
+	_ queue.Queue[int]    = (*Queue[int])(nil)
+	_ queue.Relaxed[int]  = (*Queue[int])(nil)
+	_ queue.Enqueuer[int] = (*Producer[int])(nil)
+)

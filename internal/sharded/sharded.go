@@ -1,0 +1,241 @@
+// Package sharded implements a relaxed-FIFO MPMC queue that stripes items
+// across N cache-padded shards, each an internal/core Michael–Scott queue.
+//
+// Every algorithm in this repository funnels all producers and consumers
+// through a single Head/Tail pair, so throughput flattens once enough
+// cores contend on the same CAS words — the single-point bottleneck that
+// modern successors of the MS queue (SCQ, wCQ; see PAPERS.md) remove by
+// spreading contention over many sub-queues. This package applies the same
+// idea using the paper's own queue as the per-shard building block:
+//
+//   - Enqueue goes to the producer's shard: Producer handles are pinned to
+//     one shard round-robin; the convenience Enqueue method draws a pooled
+//     handle, which keeps goroutines on the same P on the same shard.
+//   - Dequeue drains the consumer's own shard first, then work-steals from
+//     the other shards in a randomized victim scan, applying
+//     internal/backoff after each steal miss so colliding thieves
+//     de-correlate.
+//
+// The price is global FIFO order: items from different shards may overtake
+// each other. What remains is the queue.Relaxed contract — per-shard FIFO,
+// per-producer order through a handle, no loss, no duplication, eventual
+// drain — verified by the relaxed-order checker in internal/queuetest.
+package sharded
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"msqueue/internal/backoff"
+	"msqueue/internal/core"
+	"msqueue/internal/pad"
+	"msqueue/internal/queue"
+)
+
+// Queue is a sharded, work-stealing, relaxed-FIFO MPMC queue. The zero
+// value is not usable; call New.
+type Queue[T any] struct {
+	shards []shard[T]
+
+	// Round-robin assignment counters for new producer and consumer
+	// affinities. Separate words so handing out producers does not bounce
+	// the consumers' cache line.
+	producerSeq atomic.Uint64
+	_           pad.Line
+	consumerSeq atomic.Uint64
+	_           pad.Line
+
+	// Pools of affinity state backing the handle-free Enqueue/Dequeue
+	// methods. sync.Pool caches per-P, so goroutines scheduled on the same
+	// processor tend to reuse the same shard — the cheap approximation of
+	// per-goroutine affinity available without runtime support.
+	producers sync.Pool
+	consumers sync.Pool
+}
+
+// shard is one FIFO lane plus its counters. The counters are written by
+// the producers and consumers working this shard only, so their contention
+// is bounded by the shard's own population; the trailing pad keeps
+// neighbouring shards off the same cache line.
+type shard[T any] struct {
+	q           *core.MS[T]
+	enqueues    atomic.Int64
+	dequeues    atomic.Int64
+	steals      atomic.Int64
+	stealMisses atomic.Int64
+	_           pad.Line
+}
+
+// New returns an empty queue striped across the given number of shards.
+// shards <= 0 selects runtime.GOMAXPROCS(0), the population that can
+// contend simultaneously.
+func New[T any](shards int) *Queue[T] {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	q := &Queue[T]{shards: make([]shard[T], shards)}
+	for i := range q.shards {
+		q.shards[i].q = core.NewMS[T]()
+	}
+	q.producers.New = func() any { return q.newProducer() }
+	q.consumers.New = func() any { return q.newConsumer() }
+	return q
+}
+
+// Shards reports the number of lanes.
+func (q *Queue[T]) Shards() int { return len(q.shards) }
+
+// Producer is an enqueue handle pinned to one shard. Items enqueued
+// through the same handle enter one FIFO lane and are therefore mutually
+// ordered (per-producer FIFO). A Producer is safe for concurrent use —
+// the underlying shard is an MPMC queue — but sharing one merges the
+// sharers' orders into the lane's.
+type Producer[T any] struct {
+	s *shard[T]
+}
+
+// Enqueue appends v to the handle's shard. Lock-free: it inherits the MS
+// queue's progress guarantee.
+func (p *Producer[T]) Enqueue(v T) {
+	p.s.q.Enqueue(v)
+	p.s.enqueues.Add(1)
+}
+
+func (q *Queue[T]) newProducer() *Producer[T] {
+	i := int((q.producerSeq.Add(1) - 1) % uint64(len(q.shards)))
+	return &Producer[T]{s: &q.shards[i]}
+}
+
+// Producer returns a new enqueue handle pinned (round-robin) to one shard.
+// This is the strict-order path of the queue.Relaxed contract.
+func (q *Queue[T]) Producer() queue.Enqueuer[T] { return q.newProducer() }
+
+// Enqueue appends v to this goroutine's current shard (a pooled producer
+// affinity). Per-producer order holds for as long as the pool returns the
+// same handle — which it does while the goroutine stays on one P between
+// garbage collections — but is not guaranteed across calls; use Producer
+// for a contractual per-producer FIFO.
+func (q *Queue[T]) Enqueue(v T) {
+	p := q.producers.Get().(*Producer[T])
+	p.Enqueue(v)
+	q.producers.Put(p)
+}
+
+// consumerToken is a consumer's affinity state: a home shard, a private
+// xorshift generator for the randomized victim scan, and the backoff
+// applied on steal misses.
+type consumerToken struct {
+	home int
+	rng  uint64
+	b    backoff.Backoff
+}
+
+func (q *Queue[T]) newConsumer() *consumerToken {
+	i := int((q.consumerSeq.Add(1) - 1) % uint64(len(q.shards)))
+	return &consumerToken{home: i, rng: rand.Uint64() | 1}
+}
+
+func (c *consumerToken) next() uint64 {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x
+}
+
+// Dequeue removes and returns an item, preferring this goroutine's own
+// shard and stealing from the others when it is empty. It reports false
+// only after a full scan found every shard empty; while producers are
+// still active that report is advisory (the scan is not atomic across
+// shards), but on a quiescent queue it is exact, which is what makes the
+// eventual-drain guarantee hold.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	c := q.consumers.Get().(*consumerToken)
+	v, ok := q.dequeue(c)
+	q.consumers.Put(c)
+	return v, ok
+}
+
+// dequeue is Dequeue with an explicit affinity token (tests pin tokens to
+// specific shards to direct the victim scan).
+func (q *Queue[T]) dequeue(c *consumerToken) (T, bool) {
+	home := &q.shards[c.home]
+	if v, ok := home.q.Dequeue(); ok {
+		home.dequeues.Add(1)
+		c.b.Reset()
+		return v, true
+	}
+	n := len(q.shards)
+	if n > 1 {
+		// Randomized victim scan: one pass over the other shards starting
+		// at a random offset, backing off after each miss so that thieves
+		// finding the world empty spread out instead of hammering the same
+		// victims in lockstep.
+		start := int(c.next() % uint64(n))
+		for i := 0; i < n; i++ {
+			victim := &q.shards[(start+i)%n]
+			if victim == home {
+				continue
+			}
+			if v, ok := victim.q.Dequeue(); ok {
+				victim.steals.Add(1)
+				c.b.Reset()
+				return v, true
+			}
+			victim.stealMisses.Add(1)
+			c.b.Wait()
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// RelaxedGuarantees reports the contract this queue retains after giving
+// up global FIFO order.
+func (q *Queue[T]) RelaxedGuarantees() queue.Guarantees {
+	return queue.Guarantees{
+		Lanes:            len(q.shards),
+		PerLaneFIFO:      true,
+		PerProducerOrder: true,
+		NoLoss:           true,
+		NoDuplication:    true,
+		EventualDrain:    true,
+	}
+}
+
+// ShardStat is one shard's operation counters. The split lets reports
+// distinguish affinity hits from work stealing:
+//
+//	Enqueues    items enqueued into this shard by its pinned producers
+//	Dequeues    items removed by consumers whose home is this shard
+//	Steals      items removed by consumers homed elsewhere
+//	StealMisses failed steal probes on this shard (observed empty)
+type ShardStat struct {
+	Enqueues    int64
+	Dequeues    int64
+	Steals      int64
+	StealMisses int64
+}
+
+// Occupancy is the number of items currently resident in the shard
+// (approximate while operations are in flight, exact at quiescence).
+func (s ShardStat) Occupancy() int64 { return s.Enqueues - s.Dequeues - s.Steals }
+
+// Stats snapshots the per-shard counters. Counters are read individually,
+// so a concurrent snapshot is approximate; at quiescence it is exact.
+func (q *Queue[T]) Stats() []ShardStat {
+	out := make([]ShardStat, len(q.shards))
+	for i := range q.shards {
+		s := &q.shards[i]
+		out[i] = ShardStat{
+			Enqueues:    s.enqueues.Load(),
+			Dequeues:    s.dequeues.Load(),
+			Steals:      s.steals.Load(),
+			StealMisses: s.stealMisses.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package sharded
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+// TestRelaxedConformance runs the relaxed-contract suite at several shard
+// counts, including 1 (degenerates to a plain MS queue) and counts above
+// GOMAXPROCS (cold shards guarantee the steal path runs).
+func TestRelaxedConformance(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			queuetest.RunRelaxed(t, func(int) queue.Queue[int] {
+				return New[int](shards)
+			}, queuetest.Options{})
+		})
+	}
+}
+
+func TestDefaultShardCount(t *testing.T) {
+	if got, want := New[int](0).Shards(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Shards() = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got := New[int](3).Shards(); got != 3 {
+		t.Fatalf("New(3).Shards() = %d", got)
+	}
+}
+
+func TestProducerRoundRobinPinning(t *testing.T) {
+	q := New[int](2)
+	producers := []queue.Enqueuer[int]{q.Producer(), q.Producer(), q.Producer()}
+	for i, p := range producers {
+		for j := 0; j < 10*(i+1); j++ {
+			p.Enqueue(j)
+		}
+	}
+	// Handles 0 and 2 share shard 0; handle 1 is alone on shard 1.
+	stats := q.Stats()
+	if stats[0].Enqueues != 10+30 || stats[1].Enqueues != 20 {
+		t.Fatalf("per-shard enqueues = %d,%d, want 40,20 (round-robin pinning)", stats[0].Enqueues, stats[1].Enqueues)
+	}
+}
+
+// TestStealFindsItemInAnyShard: a consumer pinned to an empty home shard
+// must still find an item parked in any other shard — the victim scan
+// covers every shard before Dequeue reports empty.
+func TestStealFindsItemInAnyShard(t *testing.T) {
+	const shards = 5
+	for victim := 0; victim < shards; victim++ {
+		q := New[int](shards)
+		(&Producer[int]{s: &q.shards[victim]}).Enqueue(42)
+		for home := 0; home < shards; home++ {
+			if home == victim {
+				continue
+			}
+			c := &consumerToken{home: home, rng: 1}
+			v, ok := q.dequeue(c)
+			if !ok || v != 42 {
+				t.Fatalf("home %d, item in shard %d: dequeue = %d,%v", home, victim, v, ok)
+			}
+			// Put it back for the next home to find.
+			(&Producer[int]{s: &q.shards[victim]}).Enqueue(42)
+		}
+	}
+}
+
+func TestDequeueEmptyAfterFullScan(t *testing.T) {
+	q := New[int](4)
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("Dequeue on empty sharded queue returned %d", v)
+	}
+	stats := q.Stats()
+	misses := int64(0)
+	for _, s := range stats {
+		misses += s.StealMisses
+	}
+	// The consumer's home shard miss is not a steal miss; the other three
+	// shards each record one.
+	if misses != 3 {
+		t.Fatalf("steal misses after one empty scan = %d, want 3", misses)
+	}
+}
+
+func TestStatsOccupancyAndConservation(t *testing.T) {
+	q := New[int](4)
+	const n = 1000
+	p := q.Producer()
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			p.Enqueue(i)
+		} else {
+			q.Enqueue(i)
+		}
+	}
+	total := int64(0)
+	for _, s := range q.Stats() {
+		total += s.Occupancy()
+	}
+	if total != n {
+		t.Fatalf("total occupancy = %d, want %d", total, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatalf("queue empty after %d dequeues, want %d", i, n)
+		}
+	}
+	total = 0
+	removed := int64(0)
+	for _, s := range q.Stats() {
+		total += s.Occupancy()
+		removed += s.Dequeues + s.Steals
+	}
+	if total != 0 {
+		t.Fatalf("occupancy after drain = %d, want 0", total)
+	}
+	if removed != n {
+		t.Fatalf("dequeues+steals = %d, want %d", removed, n)
+	}
+}
+
+// TestStealMissContentionStress is the contention stress for the affinity
+// and victim-scan logic (run under -race in CI): many producers hammer a
+// single hot shard while every consumer is homed on a cold shard, so each
+// successful dequeue is a steal and each probe of the other cold shards is
+// a steal miss. Verifies conservation, per-producer order per consumer,
+// and that the counters attribute the traffic correctly.
+func TestStealMissContentionStress(t *testing.T) {
+	const (
+		shards    = 4
+		producers = 8
+		consumers = 6
+	)
+	perProd := 20000
+	if testing.Short() {
+		perProd = 2000
+	}
+	q := New[int](shards)
+	hot := &q.shards[0]
+
+	var (
+		prodWG sync.WaitGroup
+		consWG sync.WaitGroup
+		done   = make(chan struct{})
+		mu     sync.Mutex
+		counts = make(map[int]int, producers*perProd)
+		fails  []string
+	)
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			// Every producer pinned to the same hot shard.
+			h := &Producer[int]{s: hot}
+			for i := 0; i < perProd; i++ {
+				h.Enqueue(p<<20 | i)
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			// Home on a cold shard: every hit is a steal from shard 0.
+			tok := &consumerToken{home: 1 + c%(shards-1), rng: uint64(c)*2 + 1}
+			local := make(map[int]int)
+			last := make(map[int]int)
+			check := func(v int) {
+				local[v]++
+				p, seq := v>>20, v&(1<<20-1)
+				if prev, ok := last[p]; ok && seq <= prev {
+					mu.Lock()
+					fails = append(fails, fmt.Sprintf("consumer %d: producer %d seq %d after %d", c, p, seq, prev))
+					mu.Unlock()
+				}
+				last[p] = seq
+			}
+			flush := func() {
+				mu.Lock()
+				for k, n := range local {
+					counts[k] += n
+				}
+				mu.Unlock()
+			}
+			for {
+				if v, ok := q.dequeue(tok); ok {
+					check(v)
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						v, ok := q.dequeue(tok)
+						if !ok {
+							flush()
+							return
+						}
+						check(v)
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	prodWG.Wait()
+	close(done)
+	consWG.Wait()
+
+	if len(fails) != 0 {
+		t.Fatalf("per-producer order violated (%d times), e.g. %s", len(fails), fails[0])
+	}
+	if len(counts) != producers*perProd {
+		t.Fatalf("dequeued %d distinct values, want %d", len(counts), producers*perProd)
+	}
+	for v, n := range counts {
+		if n != 1 {
+			t.Fatalf("value %#x dequeued %d times", v, n)
+		}
+	}
+
+	stats := q.Stats()
+	if got := stats[0].Enqueues; got != int64(producers*perProd) {
+		t.Fatalf("hot shard enqueues = %d, want %d", got, producers*perProd)
+	}
+	// No consumer was homed on shard 0, so everything left by stealing.
+	if stats[0].Dequeues != 0 {
+		t.Fatalf("hot shard local dequeues = %d, want 0 (all consumers homed elsewhere)", stats[0].Dequeues)
+	}
+	if got := stats[0].Steals; got != int64(producers*perProd) {
+		t.Fatalf("hot shard steals = %d, want %d", got, producers*perProd)
+	}
+	misses := int64(0)
+	for i := 1; i < shards; i++ {
+		if stats[i].Enqueues != 0 || stats[i].Dequeues != 0 {
+			t.Fatalf("cold shard %d saw traffic: %+v", i, stats[i])
+		}
+		misses += stats[i].StealMisses
+	}
+	if misses == 0 {
+		t.Fatal("no steal misses recorded on the cold shards under contention")
+	}
+}
+
+// TestPerShardFIFOWhitebox: each lane is an MS queue, so items entering
+// one shard leave it in order even when removed by different paths (local
+// dequeue vs steal).
+func TestPerShardFIFOWhitebox(t *testing.T) {
+	q := New[int](3)
+	p := &Producer[int]{s: &q.shards[2]}
+	const n = 500
+	for i := 0; i < n; i++ {
+		p.Enqueue(i)
+	}
+	local := &consumerToken{home: 2, rng: 7}
+	thief := &consumerToken{home: 0, rng: 9}
+	want := 0
+	for want < n {
+		tok := local
+		if want%2 == 1 {
+			tok = thief
+		}
+		v, ok := q.dequeue(tok)
+		if !ok || v != want {
+			t.Fatalf("dequeue = %d,%v, want %d (per-shard FIFO)", v, ok, want)
+		}
+		want++
+	}
+	st := q.Stats()[2]
+	if st.Dequeues == 0 || st.Steals == 0 {
+		t.Fatalf("expected both local dequeues and steals on shard 2, got %+v", st)
+	}
+}

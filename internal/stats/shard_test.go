@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShardTable(t *testing.T) {
+	rows := []ShardRow{
+		{Enqueues: 600, Dequeues: 500, Steals: 100, StealMisses: 7, Occupancy: 0},
+		{Enqueues: 400, Dequeues: 100, Steals: 200, StealMisses: 3, Occupancy: 100},
+	}
+	got := ShardTable(rows)
+
+	for _, want := range []string{
+		"shard", "enqueues", "steal-misses", "enq-share",
+		"60.0%", "40.0%", // per-shard enqueue shares
+		"total", "1000",
+		"stolen: 33.3% of 900 removed item(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("ShardTable output missing %q:\n%s", want, got)
+		}
+	}
+
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	// header + separator + 2 shards + total + stolen summary
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), got)
+	}
+}
+
+func TestShardTableEmptyCounters(t *testing.T) {
+	got := ShardTable([]ShardRow{{}, {}})
+	if !strings.Contains(got, "-") {
+		t.Fatalf("zero-traffic table should render shares as '-':\n%s", got)
+	}
+	if strings.Contains(got, "stolen:") {
+		t.Fatalf("no removals, but a stolen summary was printed:\n%s", got)
+	}
+}
