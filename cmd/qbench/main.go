@@ -55,6 +55,7 @@ func run(args []string) error {
 		capacity   = fs.Int("cap", harness.DefaultCapacity, "node capacity for bounded (tagged) queues")
 		shards     = fs.Int("shards", 0, `shard count for the relaxed "sharded" algorithm (0 = GOMAXPROCS); requires "sharded" in -algos`)
 		csvPath    = fs.String("csv", "", "also write the series as CSV to this file (one figure only)")
+		metricsRep = fs.Bool("metrics", false, "run a probed pass and print a per-algorithm contention report (CAS retries, lock spins, op latency quantiles)")
 		list       = fs.Bool("list", false, "list the available algorithms and exit")
 		quiet      = fs.Bool("quiet", false, "suppress per-point progress lines")
 	)
@@ -80,6 +81,8 @@ func run(args []string) error {
 		return fmt.Errorf("-shards applies to figure sweeps, not to -experiment %q", *experiment)
 	case *figures != "" && *experiment != "":
 		return fmt.Errorf("-figure and -experiment are mutually exclusive; pass one")
+	case *metricsRep && *experiment != "":
+		return fmt.Errorf("-metrics runs its own probed pass and does not combine with -experiment %q", *experiment)
 	}
 
 	if *otherWork == 0 {
@@ -109,9 +112,9 @@ func run(args []string) error {
 		}
 	}
 
-	if *figures == "" {
+	if *figures == "" && !*metricsRep {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -figure or -experiment")
+		return fmt.Errorf("nothing to do: pass -figure, -experiment or -metrics")
 	}
 
 	var algos []algorithms.Info
@@ -148,6 +151,11 @@ func run(args []string) error {
 			}
 			return fmt.Errorf(`-shards %d applies only to the relaxed "sharded" algorithm, but the selection (%s) is strict-FIFO only; add it with -algos sharded or -algos all`, *shards, selected)
 		}
+	}
+
+	if *figures == "" {
+		// Standalone -metrics: one probed pass, no figure sweep.
+		return metricsReport(algos, *procs, *pairs, *capacity, *otherWork, *quiet)
 	}
 
 	nums, err := parseFigures(*figures)
@@ -215,6 +223,13 @@ func run(args []string) error {
 		}
 		fmt.Printf("per-shard counters for %q (p=%d, %d pairs, no other work; one diagnostic run):\n%s\n",
 			info.Display, *procs, *pairs, stats.ShardTable(res.ShardStats))
+	}
+
+	if *metricsRep {
+		// After the (unprobed) figure sweep, run the probed contention pass
+		// over the same selection so the report lines up with the tables
+		// above.
+		return metricsReport(algos, *procs, *pairs, *capacity, *otherWork, *quiet)
 	}
 	return nil
 }

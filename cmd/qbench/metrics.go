@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"msqueue/internal/algorithms"
+	"msqueue/internal/harness"
+	"msqueue/internal/metrics"
+	"msqueue/internal/stats"
+)
+
+// metricsAlgos is the default contender set for the -metrics report: the
+// paper's six plus the ablations whose contention behaviour differs from
+// their GC-based counterparts (tagged free list, sharding).
+var metricsAlgos = []string{
+	"single-lock", "mc", "valois", "two-lock", "plj", "ms", "ms-tagged", "sharded",
+}
+
+// metricsReport runs each algorithm once under a contention probe and
+// prints the per-algorithm site counters plus a cross-algorithm summary
+// table: CAS retries and lock spins per 1000 operations next to the
+// enqueue/dequeue latency quantiles.
+func metricsReport(algos []algorithms.Info, procs, pairs, capacity int, otherWork time.Duration, quiet bool) error {
+	if algos == nil {
+		for _, name := range metricsAlgos {
+			info, err := algorithms.Lookup(name)
+			if err != nil {
+				return err
+			}
+			algos = append(algos, info)
+		}
+	}
+
+	fmt.Printf("contention report: p=%d, %d pairs per algorithm, one probed run each\n\n", procs, pairs)
+
+	var rows []stats.ContentionRow
+	for _, info := range algos {
+		probe := metrics.NewProbe()
+		res, err := harness.Run(harness.Config{
+			New:               info.New,
+			Processors:        procs,
+			ProcsPerProcessor: 1,
+			Pairs:             pairs,
+			OtherWork:         otherWork,
+			Capacity:          capacity,
+			Probe:             probe,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", info.Name, err)
+		}
+		snap := res.Metrics
+		ops := 2 * int64(res.Pairs) // one enqueue + one dequeue per pair
+		if !quiet {
+			fmt.Printf("%s (%s):\n%s\n", info.Display, info.Name, snap.Report(ops))
+		}
+		enq, deq := snap.Latency[metrics.Enqueue], snap.Latency[metrics.Dequeue]
+		rows = append(rows, stats.ContentionRow{
+			Algorithm:  info.Display,
+			Ops:        ops,
+			CASRetries: res.CASRetries,
+			LockSpins:  res.LockSpins,
+			EnqP50:     enq.Quantile(0.50),
+			EnqP99:     enq.Quantile(0.99),
+			DeqP50:     deq.Quantile(0.50),
+			DeqP99:     deq.Quantile(0.99),
+		})
+	}
+
+	fmt.Println(stats.ContentionTable(rows))
+	fmt.Println("latency quantiles are log-bucket midpoints (2x resolution); retries/spins are exact counts")
+	return nil
+}

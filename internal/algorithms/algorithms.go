@@ -15,6 +15,7 @@ import (
 	"msqueue/internal/flawed"
 	"msqueue/internal/hazard"
 	"msqueue/internal/locks"
+	"msqueue/internal/metrics"
 	"msqueue/internal/queue"
 	"msqueue/internal/sharded"
 )
@@ -277,6 +278,14 @@ func (a uint64Adapter) Enqueue(v int) { a.q.Enqueue(uint64(v)) }
 func (a uint64Adapter) Dequeue() (int, bool) {
 	v, ok := a.q.Dequeue()
 	return int(v), ok
+}
+
+// SetProbe forwards a contention probe to the wrapped queue, so harness
+// probing sees through the adapter.
+func (a uint64Adapter) SetProbe(p *metrics.Probe) {
+	if in, ok := a.q.(metrics.Instrumented); ok {
+		in.SetProbe(p)
+	}
 }
 
 // channelQueue adapts a buffered Go channel to the queue contract: an extra

@@ -61,24 +61,37 @@ func (b *Backoff) WaitNoYield() {
 }
 
 func (b *Backoff) wait() {
+	if b.rng == 0 {
+		// Seed the per-process generator once per Backoff; the global rand
+		// is only used for this first seeding so the hot path stays
+		// allocation- and lock-free. The seed survives Reset: re-seeding
+		// after every successful operation would take the global generator's
+		// mutex on the first failure of every op — a lock hidden inside the
+		// very measurement loops this package serves.
+		b.rng = rand.Uint64() | 1
+	}
 	if b.limit == 0 {
 		b.limit = b.min()
-		// Seed the per-process generator once; the global rand is only used
-		// for seeding so the hot path stays allocation- and lock-free.
-		b.rng = rand.Uint64() | 1
 	}
 	spins := int(b.next() % uint64(b.limit))
 	for i := 0; i < spins; i++ {
 		cpuRelax()
 	}
-	if b.limit < b.max() {
+	if max := b.max(); b.limit < max {
 		b.limit *= 2
+		// Clamp after doubling: Max need not be Min times a power of two
+		// (Min=3, Max=1024 would otherwise overshoot to 1536).
+		if b.limit > max {
+			b.limit = max
+		}
 	}
 	b.failures++
 }
 
 // Reset clears the failure history after a successful operation, restoring
-// the initial (minimum) backoff interval.
+// the initial (minimum) backoff interval. The random generator's state is
+// preserved, so Reset never re-enters the mutex-guarded global seeding
+// path.
 func (b *Backoff) Reset() {
 	b.limit = 0
 	b.failures = 0

@@ -2,6 +2,88 @@ package backoff
 
 import "testing"
 
+// xorshift64 mirrors Backoff.next for the determinism tests below.
+func xorshift64(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// TestLimitNeverExceedsMax is the regression test for the limit-overshoot
+// bug: wait() doubled limit whenever limit < max, so any Max that is not
+// Min times a power of two was overshot (Min=3, Max=1024 reached 1536).
+// The invariant limit <= max() must hold after every Wait, for every
+// Min/Max combination, independent of the failure count.
+func TestLimitNeverExceedsMax(t *testing.T) {
+	combos := []struct{ min, max int }{
+		{0, 0},       // defaults
+		{3, 1024},    // the reported overshoot (3*2^k skips 1024)
+		{4, 1024},    // exact power-of-two ladder
+		{5, 7},       // max between min and 2*min
+		{7, 1 << 20}, // large odd ladder
+		{1, 1},
+		{64, 2}, // max below min: clamped up to min
+	}
+	for _, c := range combos {
+		b := Backoff{Min: c.min, Max: c.max}
+		for i := 0; i < 40; i++ {
+			b.Wait()
+			if b.limit > b.max() {
+				t.Fatalf("Min=%d Max=%d: limit = %d exceeds max() = %d after %d failures",
+					c.min, c.max, b.limit, b.max(), i+1)
+			}
+		}
+		if b.limit != b.max() {
+			t.Fatalf("Min=%d Max=%d: limit = %d never saturated at max() = %d",
+				c.min, c.max, b.limit, b.max())
+		}
+	}
+}
+
+// TestResetPreservesSeed is the regression test for the hot-path reseeding
+// bug: Reset zeroed limit, and wait() treated limit == 0 as "not seeded
+// yet", so the first Wait after every successful operation re-entered the
+// mutex-guarded global rand. The per-process generator must be seeded once
+// and advance deterministically across Reset.
+func TestResetPreservesSeed(t *testing.T) {
+	var b Backoff
+	b.Wait() // seeds rng and advances it once
+	state := b.rng
+
+	b.Reset()
+	b.Wait()
+	state = xorshift64(state)
+	if b.rng != state {
+		t.Fatalf("rng = %#x after Reset+Wait, want xorshift advance %#x of the original seed (reseeded from global rand)", b.rng, state)
+	}
+
+	// Many reset/wait cycles stay on the private generator.
+	for i := 0; i < 100; i++ {
+		state = xorshift64(state)
+		b.Reset()
+		b.Wait()
+		if b.rng != state {
+			t.Fatalf("cycle %d: rng diverged from the private xorshift sequence", i)
+		}
+	}
+}
+
+// TestResetWaitDoesNotAllocate: the post-seed hot path (Reset after success,
+// Wait after failure) must stay allocation-free — an allocation implies a
+// trip into the runtime, and the global rand path would show up here too.
+func TestResetWaitDoesNotAllocate(t *testing.T) {
+	var b Backoff
+	b.Wait() // first seed may touch the global generator; excluded below
+	if allocs := testing.AllocsPerRun(1000, func() {
+		b.Reset()
+		b.Wait()
+		b.Wait()
+	}); allocs != 0 {
+		t.Fatalf("Reset+Wait allocates %v times per run, want 0", allocs)
+	}
+}
+
 func TestZeroValueIsUsable(t *testing.T) {
 	var b Backoff
 	for i := 0; i < 100; i++ {

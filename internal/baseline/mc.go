@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"msqueue/internal/inject"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -35,7 +36,8 @@ type MC[T any] struct {
 	tail atomic.Pointer[mcNode[T]]
 	_    pad.Line
 
-	tr inject.Tracer
+	tr    inject.Tracer
+	probe *metrics.Probe
 }
 
 type mcNode[T any] struct {
@@ -55,6 +57,13 @@ func NewMC[T any]() *MC[T] {
 // SetTracer installs a fault-injection tracer. It must be called before the
 // queue is shared between goroutines.
 func (q *MC[T]) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// SetProbe installs a contention probe. MC enqueues never retry (the swap
+// always succeeds), so the interesting sites are on the dequeue side: one
+// metrics.LockSpin per wait iteration on a claimed-but-unlinked suffix —
+// the blocking behaviour itself — and head-CAS races between dequeuers.
+// Call before sharing the queue.
+func (q *MC[T]) SetProbe(p *metrics.Probe) { q.probe = p }
 
 // Enqueue appends v. It contains no loop at all: the swap always succeeds.
 func (q *MC[T]) Enqueue(v T) {
@@ -86,6 +95,7 @@ func (q *MC[T]) Dequeue() (T, bool) {
 			// linked its node. Nothing to do but wait for it — this is the
 			// blocking behaviour that distinguishes MC from the MS queue.
 			fails++
+			q.probe.Add(metrics.LockSpin, 1)
 			if fails%mcSpinYieldEvery == 0 {
 				runtime.Gosched()
 			}
@@ -95,6 +105,7 @@ func (q *MC[T]) Dequeue() (T, bool) {
 		if q.head.CompareAndSwap(head, next) {
 			return v, true
 		}
+		q.probe.Add(metrics.DequeueHeadCAS, 1)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"msqueue/internal/inject"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -39,7 +40,8 @@ type PLJ[T any] struct {
 	tail atomic.Pointer[pljNode[T]]
 	_    pad.Line
 
-	tr inject.Tracer
+	tr    inject.Tracer
+	probe *metrics.Probe
 }
 
 type pljNode[T any] struct {
@@ -60,6 +62,12 @@ func NewPLJ[T any]() *PLJ[T] {
 // the queue is shared between goroutines.
 func (q *PLJ[T]) SetTracer(tr inject.Tracer) { q.tr = tr }
 
+// SetProbe installs a contention probe. PLJ's characteristic cost site is
+// the two-variable snapshot: metrics.SnapshotRetry counts re-taken
+// snapshots, the cost the paper contrasts with MS's single-variable check.
+// Call before sharing the queue.
+func (q *PLJ[T]) SetProbe(p *metrics.Probe) { q.probe = p }
+
 // snapshot returns mutually consistent values of Head, Tail and Tail->next:
 // both shared variables are re-read until neither changed while the other
 // was being examined.
@@ -74,6 +82,7 @@ func (q *PLJ[T]) snapshot() (head, tail, tailNext *pljNode[T]) {
 			}
 			return h, t, n
 		}
+		q.probe.Add(metrics.SnapshotRetry, 1)
 	}
 }
 
@@ -85,6 +94,7 @@ func (q *PLJ[T]) Enqueue(v T) {
 		if tailNext != nil {
 			// A slower enqueuer has linked its node but not yet swung Tail:
 			// complete its operation before attempting our own.
+			q.probe.Add(metrics.EnqueueTailSwing, 1)
 			q.tail.CompareAndSwap(tail, tailNext)
 			continue
 		}
@@ -95,6 +105,7 @@ func (q *PLJ[T]) Enqueue(v T) {
 			q.tail.CompareAndSwap(tail, n)
 			return
 		}
+		q.probe.Add(metrics.EnqueueLinkCAS, 1)
 	}
 }
 
@@ -108,6 +119,7 @@ func (q *PLJ[T]) Dequeue() (T, bool) {
 				return zero, false
 			}
 			// Help the slow enqueuer, then reassess the state.
+			q.probe.Add(metrics.DequeueTailSwing, 1)
 			q.tail.CompareAndSwap(tail, tailNext)
 			continue
 		}
@@ -115,11 +127,13 @@ func (q *PLJ[T]) Dequeue() (T, bool) {
 		if next == nil {
 			// Head moved between the snapshot and this read; the snapshot
 			// is stale, take a new one.
+			q.probe.Add(metrics.DequeueInconsistent, 1)
 			continue
 		}
 		v := next.value
 		if q.head.CompareAndSwap(head, next) {
 			return v, true
 		}
+		q.probe.Add(metrics.DequeueHeadCAS, 1)
 	}
 }

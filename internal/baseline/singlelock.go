@@ -3,6 +3,7 @@ package baseline
 import (
 	"sync"
 
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -32,6 +33,15 @@ func NewSingleLock[T any](lock sync.Locker) *SingleLock[T] {
 	}
 	dummy := &slNode[T]{}
 	return &SingleLock[T]{lock: lock, head: dummy, tail: dummy}
+}
+
+// SetProbe forwards a contention probe to the lock when it is
+// instrumentable (the spin locks in internal/locks are; sync.Mutex is
+// not). Call before sharing the queue.
+func (q *SingleLock[T]) SetProbe(p *metrics.Probe) {
+	if in, ok := q.lock.(metrics.Instrumented); ok {
+		in.SetProbe(p)
+	}
 }
 
 // Enqueue appends v to the tail of the queue.

@@ -5,6 +5,7 @@ import (
 
 	"msqueue/internal/arena"
 	"msqueue/internal/inject"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -50,7 +51,8 @@ type Valois struct {
 	tail arena.Word
 	_    pad.Line
 
-	tr inject.Tracer
+	tr    inject.Tracer
+	probe *metrics.Probe
 }
 
 // NewValois returns an empty queue over an arena of the given capacity
@@ -72,6 +74,13 @@ func NewValois(capacity int) *Valois {
 // SetTracer installs a fault-injection tracer. It must be called before the
 // queue is shared between goroutines.
 func (q *Valois) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// SetProbe installs a contention probe. Valois's characteristic sites are
+// the tail-hint walk (metrics.EnqueueTailSwing, one per hop an enqueuer
+// walks past a lagging Tail) and failed SafeRead validations
+// (metrics.SnapshotRetry), the cost of the reference-counting discipline.
+// Call before sharing the queue.
+func (q *Valois) SetProbe(p *metrics.Probe) { q.probe = p }
 
 // Arena exposes the node arena so tests and the memory experiment can
 // observe occupancy.
@@ -109,9 +118,13 @@ func (q *Valois) TryEnqueue(v uint64) bool {
 				break
 			}
 			n.Refct().Add(-1) // link not installed; undo
-			continue          // someone linked concurrently; walk on
+			q.probe.Add(metrics.EnqueueLinkCAS, 1)
+			continue // someone linked concurrently; walk on
 		}
-		// Walk one hop towards the end, carrying counted references.
+		// Walk one hop towards the end, carrying counted references. Each
+		// hop is one node the tail hint lagged behind — Valois's defining
+		// cost, the counterpart of MS's single E12 swing.
+		q.probe.Add(metrics.EnqueueTailSwing, 1)
 		s := q.safeRead(&tn.Next)
 		if s.IsNil() {
 			continue // link changed under us; re-read
@@ -156,6 +169,7 @@ func (q *Valois) Dequeue() (uint64, bool) {
 			q.releaseRef(h)    // our temporary
 			return v, true
 		}
+		q.probe.Add(metrics.DequeueHeadCAS, 1)
 		q.a.Get(next).Refct().Add(-1) // provisional Head reference, undone
 		q.releaseRef(next)
 		q.releaseRef(h)
@@ -192,11 +206,13 @@ func (q *Valois) safeRead(w *arena.Word) arena.Ref {
 			return arena.NilRef
 		}
 		if !incIfPositive(q.a.Get(r).Refct()) {
+			q.probe.Add(metrics.SnapshotRetry, 1)
 			continue // target is being recycled; the word must be changing
 		}
 		if w.Load() == r {
 			return r
 		}
+		q.probe.Add(metrics.SnapshotRetry, 1)
 		q.releaseRef(r) // word changed; our reference was still safely held
 	}
 }

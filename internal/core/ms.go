@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -24,6 +25,8 @@ type MS[T any] struct {
 	_    pad.Line
 	tail atomic.Pointer[msNode[T]]
 	_    pad.Line
+
+	probe *metrics.Probe
 }
 
 type msNode[T any] struct {
@@ -41,6 +44,12 @@ func NewMS[T any]() *MS[T] {
 	return q
 }
 
+// SetProbe installs a contention probe; retry sites report into it. Like
+// SetTracer on the tagged variants, it must be called before the queue is
+// shared between goroutines. A nil probe (the default) records nothing:
+// the success paths never touch it, and the retry paths pay one branch.
+func (q *MS[T]) SetProbe(p *metrics.Probe) { q.probe = p }
+
 // Enqueue appends v to the tail of the queue. It is lock-free: the loop
 // re-runs only when some other process has completed an enqueue in the
 // meantime (paper, section 3.3).
@@ -50,6 +59,7 @@ func (q *MS[T]) Enqueue(v T) {
 		tail := q.tail.Load()      // E5
 		next := tail.next.Load()   // E6
 		if tail != q.tail.Load() { // E7: are tail and next consistent?
+			q.probe.Add(metrics.EnqueueInconsistent, 1)
 			continue
 		}
 		if next == nil { // E8: was Tail pointing to the last node?
@@ -60,8 +70,10 @@ func (q *MS[T]) Enqueue(v T) {
 				q.tail.CompareAndSwap(tail, n)
 				return
 			}
+			q.probe.Add(metrics.EnqueueLinkCAS, 1)
 		} else {
 			// E12: Tail was lagging; help swing it to the next node.
+			q.probe.Add(metrics.EnqueueTailSwing, 1)
 			q.tail.CompareAndSwap(tail, next)
 		}
 	}
@@ -75,6 +87,7 @@ func (q *MS[T]) Dequeue() (T, bool) {
 		tail := q.tail.Load()      // D3
 		next := head.next.Load()   // D4
 		if head != q.head.Load() { // D5: are head, tail, next consistent?
+			q.probe.Add(metrics.DequeueInconsistent, 1)
 			continue
 		}
 		if head == tail { // D6: empty, or Tail falling behind?
@@ -83,6 +96,7 @@ func (q *MS[T]) Dequeue() (T, bool) {
 				return zero, false
 			}
 			// D9: Tail is falling behind; help advance it.
+			q.probe.Add(metrics.DequeueTailSwing, 1)
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
@@ -99,5 +113,6 @@ func (q *MS[T]) Dequeue() (T, bool) {
 			// referents for at most one extra operation.
 			return v, true
 		}
+		q.probe.Add(metrics.DequeueHeadCAS, 1)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"msqueue/internal/arena"
 	"msqueue/internal/inject"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -37,7 +38,8 @@ type MSTagged struct {
 	tail arena.Word
 	_    pad.Line
 
-	tr inject.Tracer
+	tr    inject.Tracer
+	probe *metrics.Probe
 }
 
 // NewMSTagged returns an empty tagged queue able to hold capacity items
@@ -56,6 +58,11 @@ func NewMSTagged(capacity int) *MSTagged {
 // SetTracer installs a fault-injection tracer. It must be called before the
 // queue is shared between goroutines.
 func (q *MSTagged) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// SetProbe installs a contention probe (see MS.SetProbe); it distinguishes
+// the two CAS-failure causes per loop: tail-lag helping swings versus lost
+// link/head CAS races. It must be called before the queue is shared.
+func (q *MSTagged) SetProbe(p *metrics.Probe) { q.probe = p }
 
 // Arena exposes the node arena for occupancy assertions in tests and for
 // the memory-reuse experiments.
@@ -87,6 +94,7 @@ func (q *MSTagged) TryEnqueue(v uint64) bool {
 		tn := q.a.Get(tail)
 		next := tn.Next.Load()     // E6: read next.ptr and count together
 		if tail != q.tail.Load() { // E7: are tail and next consistent?
+			q.probe.Add(metrics.EnqueueInconsistent, 1)
 			continue
 		}
 		if next.IsNil() { // E8: was Tail pointing to the last node?
@@ -95,8 +103,10 @@ func (q *MSTagged) TryEnqueue(v uint64) bool {
 			if tn.Next.CAS(next, arena.Pack(ref.Index(), next.Count()+1)) {
 				break // E10: enqueue is done
 			}
+			q.probe.Add(metrics.EnqueueLinkCAS, 1)
 		} else {
 			// E12: Tail was not pointing to the last node; help swing it.
+			q.probe.Add(metrics.EnqueueTailSwing, 1)
 			q.tail.CAS(tail, arena.Pack(next.Index(), tail.Count()+1))
 		}
 	}
@@ -115,6 +125,7 @@ func (q *MSTagged) Dequeue() (uint64, bool) {
 		hn := q.a.Get(head)
 		next := hn.Next.Load()     // D4
 		if head != q.head.Load() { // D5: are head, tail, next consistent?
+			q.probe.Add(metrics.DequeueInconsistent, 1)
 			continue
 		}
 		if head.Index() == tail.Index() { // D6: empty or Tail falling behind?
@@ -122,6 +133,7 @@ func (q *MSTagged) Dequeue() (uint64, bool) {
 				return 0, false // D8: queue is empty
 			}
 			// D9: Tail is falling behind; try to advance it.
+			q.probe.Add(metrics.DequeueTailSwing, 1)
 			q.tail.CAS(tail, arena.Pack(next.Index(), tail.Count()+1))
 			continue
 		}
@@ -139,6 +151,7 @@ func (q *MSTagged) Dequeue() (uint64, bool) {
 			q.a.Free(head)
 			return v, true // D15
 		}
+		q.probe.Add(metrics.DequeueHeadCAS, 1)
 	}
 }
 

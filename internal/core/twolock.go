@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"msqueue/internal/arena"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -46,6 +47,19 @@ func NewTwoLock[T any](hlock, tlock sync.Locker) *TwoLock[T] {
 	}
 	dummy := &tlNode[T]{}
 	return &TwoLock[T]{hlock: hlock, tlock: tlock, head: dummy, tail: dummy}
+}
+
+// SetProbe forwards a contention probe to the head and tail locks (when
+// they are instrumentable — the spin locks in internal/locks are, the
+// runtime mutex is not), so lock-acquire spin counts surface alongside the
+// non-blocking algorithms' CAS retries. Call before sharing the queue.
+func (q *TwoLock[T]) SetProbe(p *metrics.Probe) {
+	if in, ok := q.hlock.(metrics.Instrumented); ok {
+		in.SetProbe(p)
+	}
+	if in, ok := q.tlock.(metrics.Instrumented); ok {
+		in.SetProbe(p)
+	}
 }
 
 // Enqueue appends v to the tail of the queue. Only the tail lock is taken.
@@ -111,6 +125,17 @@ func NewTwoLockTagged(capacity int, hlock, tlock sync.Locker) *TwoLockTagged {
 
 // Arena exposes the node arena for occupancy assertions in tests.
 func (q *TwoLockTagged) Arena() *arena.Arena { return q.a }
+
+// SetProbe forwards a contention probe to the head and tail locks (see
+// TwoLock.SetProbe). Call before sharing the queue.
+func (q *TwoLockTagged) SetProbe(p *metrics.Probe) {
+	if in, ok := q.hlock.(metrics.Instrumented); ok {
+		in.SetProbe(p)
+	}
+	if in, ok := q.tlock.(metrics.Instrumented); ok {
+		in.SetProbe(p)
+	}
+}
 
 // Enqueue appends v, spinning if the arena is momentarily exhausted.
 func (q *TwoLockTagged) Enqueue(v uint64) {

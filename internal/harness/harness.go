@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"msqueue/internal/metrics"
 	"msqueue/internal/queue"
 	"msqueue/internal/sharded"
 	"msqueue/internal/stats"
@@ -52,6 +53,12 @@ type Config struct {
 	// Capacity overrides the node capacity passed to New. Zero selects
 	// DefaultCapacity (the paper's free list held 64,000 nodes).
 	Capacity int
+	// Probe, when non-nil, collects contention metrics for the run: the
+	// harness installs it on the queue under test (every algorithm in this
+	// repository implements metrics.Instrumented) and times each operation
+	// into its latency histograms. A nil Probe costs nothing — the worker
+	// loop takes a branch-free fast path with no clock reads.
+	Probe *metrics.Probe
 }
 
 // DefaultCapacity matches the paper's preallocated free list of 64,000
@@ -76,6 +83,15 @@ type Result struct {
 	// ShardStats holds per-shard occupancy and steal counters when the
 	// queue under test is sharded (nil otherwise).
 	ShardStats []stats.ShardRow
+	// CASRetries is the total number of failed CAS / revalidation retries
+	// observed by the run's probe (0 when Config.Probe was nil).
+	CASRetries int64
+	// LockSpins is the total number of failed lock-acquisition attempts
+	// (spin iterations) observed by the run's probe.
+	LockSpins int64
+	// Metrics is the probe's end-of-run snapshot — per-site counters and
+	// per-op latency distributions — or nil when Config.Probe was nil.
+	Metrics *metrics.Snapshot
 }
 
 // PerPair returns the net time per enqueue/dequeue pair.
@@ -85,6 +101,14 @@ func (r Result) PerPair() time.Duration {
 	}
 	return r.Net / time.Duration(r.Pairs)
 }
+
+// payload encodes (process id, iteration) into a queue value that is
+// unique across the run: iteration-major, process-minor, i.e. i*procs+id,
+// which enumerates 0..Pairs-1 (plus at most procs-1 slack from uneven
+// splits). Unlike the id<<32|i scheme this fits a 31-bit int whenever
+// Pairs does, so it is correct on 32-bit platforms, where Go's int is 32
+// bits and id<<32 silently truncates every process id to zero.
+func payload(id, i, procs int) int { return i*procs + id }
 
 // Run executes one measurement with the given configuration.
 func Run(cfg Config) (Result, error) {
@@ -119,6 +143,11 @@ func Run(cfg Config) (Result, error) {
 
 	procs := cfg.Processors * cfg.ProcsPerProcessor
 	q := cfg.New(capacity)
+	if cfg.Probe != nil {
+		if in, ok := q.(metrics.Instrumented); ok {
+			in.SetProbe(cfg.Probe)
+		}
+	}
 
 	// Emulate p processors. On a machine with fewer cores the cap silently
 	// lowers, turning the "dedicated" experiment into a multiprogrammed one;
@@ -147,13 +176,33 @@ func Run(cfg Config) (Result, error) {
 			defer wg.Done()
 			<-start
 			myEmpties := int64(0)
-			for i := 0; i < iters; i++ {
-				q.Enqueue(id<<32 | i)
-				spinner.Spin()
-				if _, ok := q.Dequeue(); !ok {
-					myEmpties++
+			if cfg.Probe != nil {
+				// Probed variant: identical loop body plus a clock read on
+				// either side of each queue operation. Kept as a separate
+				// loop so the common unprobed path pays neither the clock
+				// reads nor a per-iteration branch.
+				for i := 0; i < iters; i++ {
+					t0 := time.Now()
+					q.Enqueue(payload(id, i, procs))
+					cfg.Probe.Observe(metrics.Enqueue, time.Since(t0))
+					spinner.Spin()
+					t0 = time.Now()
+					_, ok := q.Dequeue()
+					cfg.Probe.Observe(metrics.Dequeue, time.Since(t0))
+					if !ok {
+						myEmpties++
+					}
+					spinner.Spin()
 				}
-				spinner.Spin()
+			} else {
+				for i := 0; i < iters; i++ {
+					q.Enqueue(payload(id, i, procs))
+					spinner.Spin()
+					if _, ok := q.Dequeue(); !ok {
+						myEmpties++
+					}
+					spinner.Spin()
+				}
 			}
 			empties.Add(myEmpties)
 		}(proc, iters)
@@ -181,6 +230,12 @@ func Run(cfg Config) (Result, error) {
 		OtherWork:     owTotal,
 		Net:           net,
 		EmptyDequeues: empties.Load(),
+	}
+	if cfg.Probe != nil {
+		snap := cfg.Probe.Snapshot()
+		res.Metrics = &snap
+		res.CASRetries = snap.Retries()
+		res.LockSpins = snap.LockSpins()
 	}
 	if s, ok := q.(interface{ Stats() []sharded.ShardStat }); ok {
 		for _, st := range s.Stats() {

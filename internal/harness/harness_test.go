@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"msqueue/internal/algorithms"
+	"msqueue/internal/metrics"
 	"msqueue/internal/queue"
 	"msqueue/internal/sharded"
 	"msqueue/internal/workload"
@@ -265,5 +266,79 @@ func TestRunReportsShardStats(t *testing.T) {
 	}
 	if res.ShardStats != nil {
 		t.Fatalf("unsharded queue reported shard stats: %v", res.ShardStats)
+	}
+}
+
+// TestPayloadEncoding: payloads must be globally unique and fit a 31-bit
+// int whenever Pairs does, so the harness behaves identically on 32-bit
+// platforms (the previous id<<32|i scheme truncated every process id to
+// zero there, making all payloads collide across processes).
+func TestPayloadEncoding(t *testing.T) {
+	const procs = 7
+	const itersPerProc = 1000
+	seen := make(map[int]bool, procs*itersPerProc)
+	maxPayload := 0
+	for id := 0; id < procs; id++ {
+		for i := 0; i < itersPerProc; i++ {
+			v := payload(id, i, procs)
+			if v < 0 {
+				t.Fatalf("payload(%d,%d,%d) = %d, negative", id, i, procs, v)
+			}
+			if seen[v] {
+				t.Fatalf("payload(%d,%d,%d) = %d collides", id, i, procs, v)
+			}
+			seen[v] = true
+			if v > maxPayload {
+				maxPayload = v
+			}
+		}
+	}
+	// The whole run's payloads stay below pairs+procs, well inside 31 bits
+	// for any realistic Pairs (the paper's experiment uses one million).
+	if limit := procs*itersPerProc + procs; maxPayload >= limit {
+		t.Fatalf("max payload %d >= %d", maxPayload, limit)
+	}
+	if bits := 31; maxPayload>>(bits-1) != 0 && procs*itersPerProc < 1<<30 {
+		t.Fatalf("payload %d does not fit %d bits", maxPayload, bits)
+	}
+}
+
+// TestRunWithProbe: a probed run populates the Result's contention fields
+// and latency histograms; the histogram counts must equal the number of
+// operations the run performed.
+func TestRunWithProbe(t *testing.T) {
+	p := metrics.NewProbe()
+	res, err := Run(Config{
+		New:               msInfo(t),
+		Processors:        2,
+		ProcsPerProcessor: 2,
+		Pairs:             2000,
+		OtherWork:         -1,
+		Probe:             p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatalf("probed run returned nil Result.Metrics")
+	}
+	for op, l := range res.Metrics.Latency {
+		if l.Count != int64(res.Pairs) {
+			t.Fatalf("%v latency count = %d, want %d", metrics.Op(op), l.Count, res.Pairs)
+		}
+		if l.Quantile(0.5) <= 0 {
+			t.Fatalf("%v p50 = %v, want > 0", metrics.Op(op), l.Quantile(0.5))
+		}
+	}
+	if res.CASRetries != res.Metrics.Retries() {
+		t.Fatalf("Result.CASRetries = %d, snapshot says %d", res.CASRetries, res.Metrics.Retries())
+	}
+	// An unprobed run must leave the fields zero.
+	res2, err := Run(Config{New: msInfo(t), Processors: 1, ProcsPerProcessor: 1, Pairs: 10, OtherWork: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics != nil || res2.CASRetries != 0 || res2.LockSpins != 0 {
+		t.Fatalf("unprobed run reported metrics: %+v", res2)
 	}
 }

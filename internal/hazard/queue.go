@@ -5,6 +5,7 @@ import (
 
 	"msqueue/internal/arena"
 	"msqueue/internal/inject"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -30,6 +31,7 @@ type Queue struct {
 	nodes []hpNode
 	dom   *Domain
 	tr    inject.Tracer
+	probe *metrics.Probe
 
 	_    pad.Line
 	free atomic.Uint64 // tagged (counted) free-list top: allocator-internal
@@ -71,6 +73,12 @@ func New(capacity int) *Queue {
 // SetTracer installs a fault-injection tracer. It must be called before
 // the queue is shared between goroutines.
 func (q *Queue) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// SetProbe installs a contention probe. Beyond the MS sites, the
+// inconsistent-read counters here include failed announce-then-validate
+// handshakes — the hazard-pointer scheme's own retry cost. Call before
+// sharing the queue.
+func (q *Queue) SetProbe(p *metrics.Probe) { q.probe = p }
 
 // node resolves a non-zero handle.
 func (q *Queue) node(h uint64) *hpNode { return &q.nodes[h-1] }
@@ -123,15 +131,18 @@ func (q *Queue) TryEnqueue(v uint64) bool {
 		t := q.tail.Load()
 		rec.Protect(0, t)
 		if q.tail.Load() != t { // validate the announcement
+			q.probe.Add(metrics.EnqueueInconsistent, 1)
 			continue
 		}
 		// t is now protected: it cannot be reclaimed, so reading its next
 		// field is safe and the CAS below cannot be an ABA victim.
 		next := q.node(t).next.Load()
 		if q.tail.Load() != t {
+			q.probe.Add(metrics.EnqueueInconsistent, 1)
 			continue
 		}
 		if next != 0 {
+			q.probe.Add(metrics.EnqueueTailSwing, 1)
 			q.tail.CompareAndSwap(t, next) // help a lagging tail
 			continue
 		}
@@ -139,6 +150,7 @@ func (q *Queue) TryEnqueue(v uint64) bool {
 			q.tail.CompareAndSwap(t, n)
 			return true
 		}
+		q.probe.Add(metrics.EnqueueLinkCAS, 1)
 	}
 }
 
@@ -150,6 +162,7 @@ func (q *Queue) Dequeue() (uint64, bool) {
 		h := q.head.Load()
 		rec.Protect(0, h)
 		if q.head.Load() != h {
+			q.probe.Add(metrics.DequeueInconsistent, 1)
 			continue
 		}
 		t := q.tail.Load()
@@ -158,6 +171,7 @@ func (q *Queue) Dequeue() (uint64, bool) {
 		if q.head.Load() != h {
 			// Head moved: next may no longer be h's successor, and the
 			// protection on it was announced too late to be trusted.
+			q.probe.Add(metrics.DequeueInconsistent, 1)
 			continue
 		}
 		if q.tr != nil {
@@ -167,6 +181,7 @@ func (q *Queue) Dequeue() (uint64, bool) {
 			if next == 0 {
 				return 0, false
 			}
+			q.probe.Add(metrics.DequeueTailSwing, 1)
 			q.tail.CompareAndSwap(t, next) // tail is falling behind
 			continue
 		}
@@ -179,6 +194,7 @@ func (q *Queue) Dequeue() (uint64, bool) {
 			q.dom.Retire(rec, h)
 			return v, true
 		}
+		q.probe.Add(metrics.DequeueHeadCAS, 1)
 	}
 }
 

@@ -1,0 +1,12 @@
+package locks
+
+import "testing"
+
+func BenchmarkTTASUncontended(b *testing.B) {
+	l := new(TTAS)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}

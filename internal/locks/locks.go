@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"msqueue/internal/backoff"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
 
@@ -77,13 +78,19 @@ func Names() []string {
 type TAS struct {
 	state atomic.Int32
 	_     pad.Line
+	probe *metrics.Probe
 }
+
+// SetProbe installs a contention probe; every failed acquisition attempt
+// reports one metrics.LockSpin. Call before sharing the lock.
+func (l *TAS) SetProbe(p *metrics.Probe) { l.probe = p }
 
 // Lock acquires the lock, spinning (and eventually yielding) until free.
 func (l *TAS) Lock() {
 	fails := 0
 	for l.state.Swap(1) != 0 {
 		fails++
+		l.probe.Add(metrics.LockSpin, 1)
 		if fails%spinYieldEvery == 0 {
 			runtime.Gosched()
 		}
@@ -102,7 +109,12 @@ func (l *TAS) Unlock() {
 type TTAS struct {
 	state atomic.Int32
 	_     pad.Line
+	probe *metrics.Probe
 }
+
+// SetProbe installs a contention probe; every observed-held backoff episode
+// reports one metrics.LockSpin. Call before sharing the lock.
+func (l *TTAS) SetProbe(p *metrics.Probe) { l.probe = p }
 
 // Lock acquires the lock.
 func (l *TTAS) Lock() {
@@ -111,6 +123,7 @@ func (l *TTAS) Lock() {
 		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
 			return
 		}
+		l.probe.Add(metrics.LockSpin, 1)
 		bo.Wait()
 	}
 }
@@ -129,7 +142,11 @@ func (l *TTAS) Unlock() {
 type TTASPure struct {
 	state atomic.Int32
 	_     pad.Line
+	probe *metrics.Probe
 }
+
+// SetProbe installs a contention probe (see TTAS.SetProbe).
+func (l *TTASPure) SetProbe(p *metrics.Probe) { l.probe = p }
 
 // Lock acquires the lock, spinning with backoff but never yielding.
 func (l *TTASPure) Lock() {
@@ -138,6 +155,7 @@ func (l *TTASPure) Lock() {
 		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
 			return
 		}
+		l.probe.Add(metrics.LockSpin, 1)
 		bo.WaitNoYield()
 	}
 }

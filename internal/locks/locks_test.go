@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"msqueue/internal/metrics"
 )
 
 func TestNew(t *testing.T) {
@@ -259,5 +261,49 @@ func TestCLHFIFOChain(t *testing.T) {
 	wg.Wait()
 	if count != workers*400 {
 		t.Fatalf("count = %d, want %d", count, workers*400)
+	}
+}
+
+// TestProbeCountsLockSpins pins the LockSpin site deterministically for
+// each instrumented lock: while the lock is held, a second acquirer must
+// record at least one failed attempt before it gets the lock.
+func TestProbeCountsLockSpins(t *testing.T) {
+	cases := []struct {
+		name string
+		lock interface {
+			sync.Locker
+			SetProbe(*metrics.Probe)
+		}
+	}{
+		{"tas", new(TAS)},
+		{"ttas", new(TTAS)},
+		{"ttas-pure", new(TTASPure)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := metrics.NewProbe()
+			tc.lock.SetProbe(p)
+			tc.lock.Lock()
+
+			acquired := make(chan struct{})
+			go func() {
+				tc.lock.Lock()
+				close(acquired)
+			}()
+			// Wait until the contender has observably failed at least once;
+			// all three locks yield (TTASPure's backoff still counts before
+			// its first pure spin episode ends), so this terminates even on
+			// GOMAXPROCS=1.
+			for p.Site(metrics.LockSpin) == 0 {
+				runtime.Gosched()
+			}
+			tc.lock.Unlock()
+			<-acquired
+			tc.lock.Unlock()
+
+			if got := p.Site(metrics.LockSpin); got < 1 {
+				t.Fatalf("LockSpin = %d, want >= 1", got)
+			}
+		})
 	}
 }

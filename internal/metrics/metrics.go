@@ -1,0 +1,312 @@
+// Package metrics is the contention-observability layer shared by every
+// queue in this repository: per-site CAS-retry and lock-spin counters plus
+// a lock-free, log-bucketed latency histogram per operation type.
+//
+// The paper's figures report only net wall-clock time, which shows *that* a
+// curve bends under contention but not *why*. The counters here expose the
+// mechanisms behind the bends — how often an enqueue lost the link CAS
+// (E9), how often a dequeuer had to help a lagging tail (D9/E12), how long
+// a lock acquisition spun — the same internals the MS queue's modern
+// successors measure when motivating their designs (SCQ's scalability
+// analysis, wCQ's bounded-retry accounting; see PAPERS.md).
+//
+// # Design constraints
+//
+//   - Zero dependencies beyond the standard library.
+//   - Nil-safe: every method on *Probe has a pointer-check fast path, so
+//     instrumented algorithms hold a possibly-nil probe and call it
+//     unconditionally. With a nil probe an event costs one predictable
+//     branch, and the hot *success* paths of the algorithms emit no events
+//     at all — the instrumentation is ~free when disabled (verified by
+//     BenchmarkMSProbe in internal/core against the figure benchmarks).
+//   - Lock-free when enabled: a probe shared by every goroutine of a run
+//     must not serialise the very contention it measures. Counters and
+//     histogram buckets are plain atomics, striped across cache-padded
+//     cells indexed by a hash of the calling goroutine's stack address —
+//     the practical approximation of per-goroutine counters available
+//     without runtime support. Snapshot sums the stripes.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"msqueue/internal/pad"
+)
+
+// Site identifies one instrumented loop site, named after the paper's
+// pseudo-code line labels where one exists. A count at a site is one extra
+// loop iteration (one retry) attributable to that cause.
+type Site uint8
+
+const (
+	// EnqueueLinkCAS counts failed E9 link compare-and-swaps: another
+	// enqueuer linked its node first. The paper's non-blocking argument in
+	// section 3.3 rests on every such failure implying someone else's
+	// completed operation.
+	EnqueueLinkCAS Site = iota
+	// EnqueueTailSwing counts E12 helping swings: the enqueuer observed a
+	// lagging Tail and advanced it on the slow enqueuer's behalf.
+	EnqueueTailSwing
+	// EnqueueInconsistent counts E7 consistency re-reads: Tail moved
+	// between the read and the re-validation.
+	EnqueueInconsistent
+	// DequeueHeadCAS counts failed D12 head compare-and-swaps: another
+	// dequeuer won the race for the same node.
+	DequeueHeadCAS
+	// DequeueTailSwing counts D9 helping swings: a dequeuer found Head ==
+	// Tail with a non-nil next and advanced the lagging Tail.
+	DequeueTailSwing
+	// DequeueInconsistent counts D5 consistency re-reads.
+	DequeueInconsistent
+	// SnapshotRetry counts re-taken consistent snapshots (PLJ's two-variable
+	// snapshot loop) and failed SafeRead validations (Valois).
+	SnapshotRetry
+	// LockSpin counts one observed-held probe of a lock acquisition (the
+	// TTAS family counts one per backoff episode) and, for the
+	// lock-free-but-blocking MC queue, one wait iteration on a
+	// claimed-but-unlinked suffix.
+	LockSpin
+	// StealHit counts dequeues satisfied by stealing from a non-home shard
+	// (internal/sharded).
+	StealHit
+	// StealMiss counts steal probes that found the victim shard empty.
+	StealMiss
+
+	// NumSites is the number of instrumented sites.
+	NumSites = int(StealMiss) + 1
+)
+
+// String returns the report label of the site.
+func (s Site) String() string {
+	switch s {
+	case EnqueueLinkCAS:
+		return "enq link CAS failed (E9)"
+	case EnqueueTailSwing:
+		return "enq tail-lag swing (E12)"
+	case EnqueueInconsistent:
+		return "enq inconsistent re-read (E7)"
+	case DequeueHeadCAS:
+		return "deq head CAS failed (D12)"
+	case DequeueTailSwing:
+		return "deq tail-lag swing (D9)"
+	case DequeueInconsistent:
+		return "deq inconsistent re-read (D5)"
+	case SnapshotRetry:
+		return "snapshot/safe-read retry"
+	case LockSpin:
+		return "lock-spin / blocked wait"
+	case StealHit:
+		return "steal hit"
+	case StealMiss:
+		return "steal miss"
+	default:
+		return fmt.Sprintf("Site(%d)", uint8(s))
+	}
+}
+
+// Op classifies a completed queue operation for latency accounting.
+type Op uint8
+
+const (
+	// Enqueue is an append operation.
+	Enqueue Op = iota
+	// Dequeue is a remove operation (including empty reports).
+	Dequeue
+
+	// NumOps is the number of operation types.
+	NumOps = int(Dequeue) + 1
+)
+
+// String returns the report label of the operation type.
+func (o Op) String() string {
+	switch o {
+	case Enqueue:
+		return "enqueue"
+	case Dequeue:
+		return "dequeue"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Instrumented is implemented by queues and locks that can report into a
+// Probe. SetProbe must be called before the value is shared between
+// goroutines (the same publication rule as the inject tracers); containers
+// forward the probe to their components (a two-lock queue to its locks, the
+// sharded queue to its per-shard MS queues).
+type Instrumented interface {
+	SetProbe(*Probe)
+}
+
+// stripes is the number of cache-padded cells each counter is split
+// across. Must be a power of two.
+const stripes = 16
+
+// cell is one stripe of a counter, padded to a private cache line so
+// concurrent writers on different stripes do not false-share.
+type cell struct {
+	n atomic.Int64
+	_ [pad.CacheLineSize - 8]byte
+}
+
+// Probe collects contention counters and per-op latency histograms for one
+// measurement run. The zero value is ready to use; a nil *Probe is valid
+// and discards everything (the disabled fast path). All methods are safe
+// for concurrent use.
+type Probe struct {
+	counters [NumSites][stripes]cell
+	lat      [NumOps]Histogram
+}
+
+// NewProbe returns an empty probe.
+func NewProbe() *Probe { return &Probe{} }
+
+// Enabled reports whether events are being recorded (p is non-nil).
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Add records n events at site s. It is nil-safe and lock-free.
+func (p *Probe) Add(s Site, n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.counters[s][stripeIdx()].n.Add(n)
+}
+
+// Observe records the latency of one completed operation of type op.
+func (p *Probe) Observe(op Op, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.lat[op].Observe(d)
+}
+
+// Site sums the stripes of one counter. The sum is approximate while
+// writers are active and exact at quiescence, like every other counter
+// snapshot in this repository.
+func (p *Probe) Site(s Site) int64 {
+	if p == nil {
+		return 0
+	}
+	var total int64
+	for i := range p.counters[s] {
+		total += p.counters[s][i].n.Load()
+	}
+	return total
+}
+
+// Snapshot sums every stripe of every counter and histogram. A nil probe
+// snapshots to all zeros.
+func (p *Probe) Snapshot() Snapshot {
+	var snap Snapshot
+	if p == nil {
+		return snap
+	}
+	for s := 0; s < NumSites; s++ {
+		snap.Sites[s] = p.Site(Site(s))
+	}
+	for op := 0; op < NumOps; op++ {
+		snap.Latency[op] = p.lat[op].Snapshot()
+	}
+	return snap
+}
+
+// stripeIdx hashes the calling goroutine's stack into a stripe index.
+// Goroutine stacks are distinct allocations at least 2 KiB apart, so the
+// Fibonacci hash of a local's address spreads concurrent goroutines across
+// cells; a goroutine keeps its stripe for as long as its stack is not
+// moved, which is what makes the stripes behave like per-goroutine
+// counters under steady load.
+func stripeIdx() int {
+	var marker byte
+	h := uint64(uintptr(unsafe.Pointer(&marker))) * 0x9E3779B97F4A7C15
+	return int(h >> (64 - 4)) & (stripes - 1)
+}
+
+// Snapshot is a quiescent view of a probe's counters and histograms.
+type Snapshot struct {
+	// Sites holds the per-site event counts, indexed by Site.
+	Sites [NumSites]int64
+	// Latency holds the per-op latency distributions, indexed by Op.
+	Latency [NumOps]LatencySnapshot
+}
+
+// Retries sums every site that represents one extra loop iteration of a
+// queue operation: CAS failures, consistency re-reads, helping swings and
+// snapshot retries. Lock spins and steal counters are excluded (reported
+// separately by LockSpins and Steals).
+func (s *Snapshot) Retries() int64 {
+	var total int64
+	for site := EnqueueLinkCAS; site <= SnapshotRetry; site++ {
+		total += s.Sites[site]
+	}
+	return total
+}
+
+// LockSpins returns the observed-held lock probes (and MC blocked waits).
+func (s *Snapshot) LockSpins() int64 { return s.Sites[LockSpin] }
+
+// Steals returns the work-stealing hit and miss counts.
+func (s *Snapshot) Steals() (hits, misses int64) {
+	return s.Sites[StealHit], s.Sites[StealMiss]
+}
+
+// Events sums every recorded event across all sites.
+func (s *Snapshot) Events() int64 {
+	var total int64
+	for _, n := range s.Sites {
+		total += n
+	}
+	return total
+}
+
+// Report renders the snapshot as an aligned two-part text report: the
+// non-zero per-site counters, then one latency line per op type with count
+// and p50/p90/p99. ops, when positive, adds a per-operation rate column
+// (events / ops) — pass 2×pairs for a harness run.
+func (s *Snapshot) Report(ops int64) string {
+	var b strings.Builder
+
+	type row struct{ label, count, rate string }
+	rows := make([]row, 0, NumSites)
+	for site := 0; site < NumSites; site++ {
+		n := s.Sites[site]
+		if n == 0 {
+			continue
+		}
+		r := row{label: Site(site).String(), count: fmt.Sprintf("%d", n)}
+		if ops > 0 {
+			r.rate = fmt.Sprintf("%.4f/op", float64(n)/float64(ops))
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		b.WriteString("no contention events recorded\n")
+	} else {
+		lw, cw := 0, 0
+		for _, r := range rows {
+			lw = max(lw, len(r.label))
+			cw = max(cw, len(r.count))
+		}
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-*s  %*s", lw, r.label, cw, r.count)
+			if r.rate != "" {
+				fmt.Fprintf(&b, "  %s", r.rate)
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	for op := 0; op < NumOps; op++ {
+		l := s.Latency[op]
+		if l.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s latency: n=%d p50=%v p90=%v p99=%v max<=%v\n",
+			Op(op), l.Count, l.Quantile(0.50), l.Quantile(0.90), l.Quantile(0.99), l.Quantile(1))
+	}
+	return b.String()
+}

@@ -30,6 +30,7 @@ import (
 
 	"msqueue/internal/backoff"
 	"msqueue/internal/core"
+	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 	"msqueue/internal/queue"
 )
@@ -53,6 +54,8 @@ type Queue[T any] struct {
 	// per-goroutine affinity available without runtime support.
 	producers sync.Pool
 	consumers sync.Pool
+
+	probe *metrics.Probe
 }
 
 // shard is one FIFO lane plus its counters. The counters are written by
@@ -86,6 +89,19 @@ func New[T any](shards int) *Queue[T] {
 
 // Shards reports the number of lanes.
 func (q *Queue[T]) Shards() int { return len(q.shards) }
+
+// SetProbe installs a contention probe on the queue and on every shard's
+// underlying MS queue, unifying the per-shard steal counters (exposed via
+// Stats) with the repository-wide metrics interface: steals land on
+// metrics.StealHit, failed probes on metrics.StealMiss, and the shards'
+// own CAS-retry sites on the usual MS sites. Call before sharing the
+// queue.
+func (q *Queue[T]) SetProbe(p *metrics.Probe) {
+	q.probe = p
+	for i := range q.shards {
+		q.shards[i].q.SetProbe(p)
+	}
+}
 
 // Producer is an enqueue handle pinned to one shard. Items enqueued
 // through the same handle enter one FIFO lane and are therefore mutually
@@ -173,8 +189,14 @@ func (q *Queue[T]) dequeue(c *consumerToken) (T, bool) {
 		// Randomized victim scan: one pass over the other shards starting
 		// at a random offset, backing off after each miss so that thieves
 		// finding the world empty spread out instead of hammering the same
-		// victims in lockstep.
+		// victims in lockstep. The wait applies *between* probes only: the
+		// final miss returns immediately, so an empty-queue verdict is not
+		// delayed by a backoff no further probe benefits from.
 		start := int(c.next() % uint64(n))
+		last := n - 1
+		if (start+last)%n == c.home {
+			last-- // the scan's last slot is the home shard, already skipped
+		}
 		for i := 0; i < n; i++ {
 			victim := &q.shards[(start+i)%n]
 			if victim == home {
@@ -182,11 +204,15 @@ func (q *Queue[T]) dequeue(c *consumerToken) (T, bool) {
 			}
 			if v, ok := victim.q.Dequeue(); ok {
 				victim.steals.Add(1)
+				q.probe.Add(metrics.StealHit, 1)
 				c.b.Reset()
 				return v, true
 			}
 			victim.stealMisses.Add(1)
-			c.b.Wait()
+			q.probe.Add(metrics.StealMiss, 1)
+			if i < last {
+				c.b.Wait()
+			}
 		}
 	}
 	var zero T

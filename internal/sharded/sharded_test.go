@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"msqueue/internal/metrics"
 	"msqueue/internal/queue"
 	"msqueue/internal/queuetest"
 )
@@ -274,5 +275,73 @@ func TestPerShardFIFOWhitebox(t *testing.T) {
 	st := q.Stats()[2]
 	if st.Dequeues == 0 || st.Steals == 0 {
 		t.Fatalf("expected both local dequeues and steals on shard 2, got %+v", st)
+	}
+}
+
+// TestEmptyScanSkipsFinalBackoff: an empty-queue scan over n shards probes
+// the n-1 non-home shards but must back off only *between* probes — n-2
+// waits, not n-1 — so the empty verdict is returned immediately after the
+// final miss instead of after a useless wait. The assertion holds for any
+// scan start offset, including the one that places the home shard last.
+func TestEmptyScanSkipsFinalBackoff(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8} {
+		q := New[int](shards)
+		// Sweep rng seeds so the random start offset covers every
+		// position of the home shard within the scan order.
+		for seed := uint64(1); seed <= 64; seed++ {
+			c := &consumerToken{home: 0, rng: seed}
+			c.b.Reset()
+			before := c.b.Failures()
+			if before != 0 {
+				t.Fatalf("Reset did not clear failures: %d", before)
+			}
+			if _, ok := q.dequeue(c); ok {
+				t.Fatalf("dequeue on empty queue reported ok")
+			}
+			if got, want := c.b.Failures(), shards-2; got != want {
+				t.Fatalf("shards=%d seed=%d: %d backoff waits on empty scan, want %d (no wait after final miss)",
+					shards, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestSetProbeCountsSteals: the probe unifies the ad-hoc shard counters
+// with the metrics interface — steals land on StealHit, failed probes on
+// StealMiss, and the totals agree with Stats().
+func TestSetProbeCountsSteals(t *testing.T) {
+	q := New[int](4)
+	p := metrics.NewProbe()
+	q.SetProbe(p)
+
+	// Fill shard 3 only; a consumer homed on shard 0 must steal.
+	prod := &Producer[int]{s: &q.shards[3]}
+	const n = 100
+	for i := 0; i < n; i++ {
+		prod.Enqueue(i)
+	}
+	c := &consumerToken{home: 0, rng: 11}
+	for i := 0; i < n; i++ {
+		if _, ok := q.dequeue(c); !ok {
+			t.Fatalf("dequeue %d failed with items remaining", i)
+		}
+	}
+	if _, ok := q.dequeue(c); ok {
+		t.Fatalf("queue should be empty")
+	}
+
+	snap := p.Snapshot()
+	hits, misses := snap.Steals()
+	if hits != n {
+		t.Fatalf("StealHit = %d, want %d", hits, n)
+	}
+	var statSteals, statMisses int64
+	for _, st := range q.Stats() {
+		statSteals += st.Steals
+		statMisses += st.StealMisses
+	}
+	if hits != statSteals || misses != statMisses {
+		t.Fatalf("probe (%d hits, %d misses) disagrees with Stats (%d, %d)",
+			hits, misses, statSteals, statMisses)
 	}
 }

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ContentionRow is one algorithm's contention summary for ContentionTable:
+// the reporting-side view of a metrics.Snapshot (duplicated here so the
+// formatting package does not depend on the instrumentation package).
+type ContentionRow struct {
+	// Algorithm is the display label.
+	Algorithm string
+	// Ops is the number of operations the numbers are normalised against
+	// (enqueue/dequeue pairs × 2 in the harness).
+	Ops int64
+	// CASRetries is the total number of failed CAS / revalidation retries.
+	CASRetries int64
+	// LockSpins is the total number of failed lock-acquisition attempts.
+	LockSpins int64
+	// EnqP50, EnqP99, DeqP50, DeqP99 are per-operation latency quantiles;
+	// zero means "not measured" and renders as "-".
+	EnqP50, EnqP99 time.Duration
+	DeqP50, DeqP99 time.Duration
+}
+
+// ContentionTable renders per-algorithm contention rows as an aligned
+// ASCII table: retries and spins per 1000 operations (the normalised
+// at-a-glance numbers) next to the latency quantiles.
+func ContentionTable(rows []ContentionRow) string {
+	var b strings.Builder
+
+	headers := []string{"algorithm", "ops", "cas-retries", "/1k ops", "lock-spins", "/1k ops",
+		"enq p50", "enq p99", "deq p50", "deq p99"}
+
+	perK := func(n, ops int64) string {
+		if ops == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", 1000*float64(n)/float64(ops))
+	}
+	lat := func(d time.Duration) string {
+		if d == 0 {
+			return "-"
+		}
+		return d.String()
+	}
+
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Algorithm,
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%d", r.CASRetries),
+			perK(r.CASRetries, r.Ops),
+			fmt.Sprintf("%d", r.LockSpins),
+			perK(r.LockSpins, r.Ops),
+			lat(r.EnqP50),
+			lat(r.EnqP99),
+			lat(r.DeqP50),
+			lat(r.DeqP99),
+		})
+	}
+
+	widths := make([]int, len(headers))
+	for c, h := range headers {
+		widths[c] = len(h)
+	}
+	for _, row := range cells {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	writeRow := func(row []string) {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			if c == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[c], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[c], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	writeRow(separators(widths))
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContentionTable(t *testing.T) {
+	rows := []ContentionRow{
+		{
+			Algorithm:  "new non-blocking",
+			Ops:        2000,
+			CASRetries: 150,
+			EnqP50:     120 * time.Nanosecond,
+			EnqP99:     3 * time.Microsecond,
+			DeqP50:     110 * time.Nanosecond,
+			DeqP99:     2 * time.Microsecond,
+		},
+		{
+			Algorithm: "single lock",
+			Ops:       2000,
+			LockSpins: 4000,
+		},
+	}
+	got := ContentionTable(rows)
+
+	for _, want := range []string{
+		"algorithm", "cas-retries", "/1k ops", "lock-spins",
+		"enq p50", "deq p99",
+		"new non-blocking", "150", "75.00", // 150 retries / 2k ops
+		"single lock", "4000", "2000.00",
+		"120ns", "3µs",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("ContentionTable output missing %q:\n%s", want, got)
+		}
+	}
+	// Unmeasured latencies render as "-", not 0s.
+	if strings.Contains(got, "0s") {
+		t.Fatalf("unmeasured latency rendered as 0s:\n%s", got)
+	}
+}
+
+func TestContentionTableZeroOps(t *testing.T) {
+	got := ContentionTable([]ContentionRow{{Algorithm: "x"}})
+	if !strings.Contains(got, "-") {
+		t.Fatalf("zero-ops normalisation should render '-':\n%s", got)
+	}
+}

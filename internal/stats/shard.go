@@ -47,6 +47,19 @@ func ShardTable(rows []ShardRow) string {
 		}
 		return fmt.Sprintf("%.1f%%", 100*float64(r.Enqueues)/float64(total.Enqueues))
 	}
+	// Occupancy is derived from counters read individually while operations
+	// may be in flight, so a busy shard can transiently appear to hold a
+	// negative number of items (a remove was counted whose insert was not
+	// yet). Render those as "~0" — the physically meaningful value — and
+	// note why.
+	sawNegative := false
+	occupancy := func(n int64) string {
+		if n < 0 {
+			sawNegative = true
+			return "~0"
+		}
+		return fmt.Sprintf("%d", n)
+	}
 
 	cells := make([][]string, 0, len(rows)+1)
 	for i, r := range rows {
@@ -56,7 +69,7 @@ func ShardTable(rows []ShardRow) string {
 			fmt.Sprintf("%d", r.Dequeues),
 			fmt.Sprintf("%d", r.Steals),
 			fmt.Sprintf("%d", r.StealMisses),
-			fmt.Sprintf("%d", r.Occupancy),
+			occupancy(r.Occupancy),
 			share(r),
 		})
 	}
@@ -66,7 +79,7 @@ func ShardTable(rows []ShardRow) string {
 		fmt.Sprintf("%d", total.Dequeues),
 		fmt.Sprintf("%d", total.Steals),
 		fmt.Sprintf("%d", total.StealMisses),
-		fmt.Sprintf("%d", total.Occupancy),
+		occupancy(total.Occupancy),
 		share(total),
 	})
 
@@ -99,6 +112,9 @@ func ShardTable(rows []ShardRow) string {
 	if removed := total.Dequeues + total.Steals; removed > 0 {
 		fmt.Fprintf(&b, "stolen: %.1f%% of %d removed item(s)\n",
 			100*float64(total.Steals)/float64(removed), removed)
+	}
+	if sawNegative {
+		b.WriteString("~0: counters snapshotted mid-operation; occupancy cannot be negative at quiescence\n")
 	}
 	return b.String()
 }

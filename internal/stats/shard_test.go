@@ -39,3 +39,26 @@ func TestShardTableEmptyCounters(t *testing.T) {
 		t.Fatalf("no removals, but a stolen summary was printed:\n%s", got)
 	}
 }
+
+func TestShardTableClampsNegativeOccupancy(t *testing.T) {
+	rows := []ShardRow{
+		{Enqueues: 100, Dequeues: 101, Occupancy: -1}, // mid-flight snapshot skew
+		{Enqueues: 100, Dequeues: 90, Occupancy: 10},
+	}
+	got := ShardTable(rows)
+	if strings.Contains(got, "-1") {
+		t.Fatalf("negative occupancy leaked into the table:\n%s", got)
+	}
+	if !strings.Contains(got, "~0") {
+		t.Fatalf("negative occupancy not rendered as ~0:\n%s", got)
+	}
+	if !strings.Contains(got, "snapshotted mid-operation") {
+		t.Fatalf("~0 footnote missing:\n%s", got)
+	}
+
+	// A table with no negative occupancies must not carry the footnote.
+	clean := ShardTable([]ShardRow{{Enqueues: 5, Occupancy: 5}})
+	if strings.Contains(clean, "~0") || strings.Contains(clean, "snapshotted") {
+		t.Fatalf("footnote printed without negative occupancy:\n%s", clean)
+	}
+}
