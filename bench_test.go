@@ -25,6 +25,7 @@ import (
 	"msqueue/internal/harness"
 	"msqueue/internal/linearizability"
 	"msqueue/internal/queue"
+	"msqueue/internal/ring"
 	"msqueue/internal/sharded"
 )
 
@@ -306,6 +307,129 @@ func BenchmarkShardedShardCount(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkRingPairs compares the bounded SCQ-style ring against the
+// queues a user would weigh it against — the unbounded MS queue, its
+// tagged bounded variant, the relaxed sharded queue and the runtime's
+// channel — under RunParallel enqueue/dequeue pairs. The ring replaces
+// the MS queue's two contended CAS words with FAA position reservation;
+// on a multi-core machine that difference is the whole point, on one
+// core the rows isolate per-operation overhead.
+func BenchmarkRingPairs(b *testing.B) {
+	for _, name := range []string{"ring", "ms", "ms-tagged", "sharded", "channel"} {
+		info, err := algorithms.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			q := info.New(1 << 16)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q.Enqueue(i)
+					q.Dequeue()
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRingBatch measures the amortized per-element cost of the batch
+// operations across batch sizes spanning the internal 32-index chunk: one
+// goroutine, fill then drain, so the number isolates reservation traffic
+// (one FAA round trip per element for singles, chunk-pipelined for
+// batches) from contention.
+func BenchmarkRingBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 32, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			q := ring.New[int](1 << 12)
+			vs := make([]int, size)
+			for i := range vs {
+				vs[i] = i
+			}
+			dst := make([]int, size)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for sent := 0; sent < size; {
+					sent += q.EnqueueBatch(vs[sent:])
+				}
+				for got := 0; got < size; {
+					got += q.DequeueBatch(dst[got:])
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size*2), "ns/op-amortised")
+		})
+	}
+}
+
+// BenchmarkRingBatchParallel pits batched against element-at-a-time
+// transfer under RunParallel: each iteration moves 64 values through the
+// ring either as 128 single operations or as one EnqueueBatch/DequeueBatch
+// pair. The gap is what the batch API's amortized reservations buy under
+// concurrent traffic.
+func BenchmarkRingBatchParallel(b *testing.B) {
+	const batch = 64
+	b.Run("singles", func(b *testing.B) {
+		q := ring.New[int](1 << 16)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				for j := 0; j < batch; j++ {
+					q.Enqueue(j)
+				}
+				for j := 0; j < batch; j++ {
+					q.Dequeue()
+				}
+			}
+		})
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch*2), "ns/op-amortised")
+	})
+	b.Run("batched", func(b *testing.B) {
+		q := ring.New[int](1 << 16)
+		vs := make([]int, batch)
+		for i := range vs {
+			vs[i] = i
+		}
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			dst := make([]int, batch)
+			for pb.Next() {
+				for sent := 0; sent < batch; {
+					sent += q.EnqueueBatch(vs[sent:])
+				}
+				for got := 0; got < batch; {
+					got += q.DequeueBatch(dst[got:])
+				}
+			}
+		})
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch*2), "ns/op-amortised")
+	})
+}
+
+// BenchmarkRingBoundary crosses the full/empty boundary every iteration on
+// a small ring: fill to capacity, hit one refusal, drain to empty. This is
+// the regime the threshold counter and tail catch-up exist for; the
+// number is the amortized cost of an element transfer that lives next to
+// the boundary rather than in the steady middle.
+func BenchmarkRingBoundary(b *testing.B) {
+	const capacity = 64
+	q := ring.New[int](capacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < capacity; j++ {
+			q.Enqueue(j)
+		}
+		if q.TryEnqueue(-1) {
+			b.Fatal("TryEnqueue succeeded on a full ring")
+		}
+		for j := 0; j < capacity; j++ {
+			q.Dequeue()
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*capacity*2), "ns/op-amortised")
 }
 
 // BenchmarkShardedProducerHandle measures the contractual enqueue path:

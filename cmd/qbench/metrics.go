@@ -14,7 +14,7 @@ import (
 // paper's six plus the ablations whose contention behaviour differs from
 // their GC-based counterparts (tagged free list, sharding).
 var metricsAlgos = []string{
-	"single-lock", "mc", "valois", "two-lock", "plj", "ms", "ms-tagged", "sharded",
+	"single-lock", "mc", "valois", "two-lock", "plj", "ms", "ms-tagged", "ring", "sharded",
 }
 
 // metricsReport runs each algorithm once under a contention probe and

@@ -17,7 +17,7 @@ func TestRunPassesForMS(t *testing.T) {
 }
 
 func TestRunPassesForEveryLinearizableAlgorithm(t *testing.T) {
-	for _, name := range []string{"two-lock", "single-lock", "mc", "plj", "valois", "ms-tagged", "channel"} {
+	for _, name := range []string{"two-lock", "single-lock", "mc", "plj", "valois", "ms-tagged", "ring", "channel"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			code, err := run([]string{"-algo", name, "-procs", "3", "-iters", "200", "-rounds", "1"})

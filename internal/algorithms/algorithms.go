@@ -17,6 +17,7 @@ import (
 	"msqueue/internal/locks"
 	"msqueue/internal/metrics"
 	"msqueue/internal/queue"
+	"msqueue/internal/ring"
 	"msqueue/internal/sharded"
 )
 
@@ -42,8 +43,28 @@ type Info struct {
 	// InPaper marks the six algorithms measured in Figures 3–5.
 	InPaper bool
 	// New constructs a fresh empty queue of int values with capacity for at
-	// least cap concurrently live items. GC-based algorithms ignore cap.
+	// least cap concurrently live items. GC-based algorithms ignore cap;
+	// bounded (arena- or ring-backed) algorithms treat cap <= 0 as "use the
+	// implementation default" (DefaultCap) — the single place this
+	// convention is defined, so a caller that has no capacity opinion may
+	// always pass 0.
 	New func(cap int) queue.Queue[int]
+}
+
+// DefaultCap is the arena/ring capacity bounded entries use when New is
+// called with cap <= 0. It is deliberately small — big enough for the
+// checkers' concurrent populations, small enough that constructing every
+// catalog entry stays cheap — where the harness's DefaultCapacity matches
+// the paper's 64,000-node free list; the harness always passes its own
+// capacity explicitly.
+const DefaultCap = 1024
+
+// normCap applies the cap <= 0 convention for bounded constructors.
+func normCap(cap int) int {
+	if cap <= 0 {
+		return DefaultCap
+	}
+	return cap
 }
 
 // catalog lists every algorithm. The first six entries are the paper's
@@ -77,7 +98,7 @@ func catalog() []Info {
 			Linearizable: true,
 			InPaper:      true,
 			New: func(cap int) queue.Queue[int] {
-				return uint64Adapter{q: baseline.NewValois(cap + 1)}
+				return uint64Adapter{q: baseline.NewValois(normCap(cap) + 1)}
 			},
 		},
 		{
@@ -118,7 +139,7 @@ func catalog() []Info {
 			Progress:     queue.NonBlocking,
 			Linearizable: true,
 			New: func(cap int) queue.Queue[int] {
-				return uint64Adapter{q: core.NewMSTagged(cap)}
+				return uint64Adapter{q: core.NewMSTagged(normCap(cap))}
 			},
 		},
 		{
@@ -127,7 +148,7 @@ func catalog() []Info {
 			Progress:     queue.Blocking,
 			Linearizable: true,
 			New: func(cap int) queue.Queue[int] {
-				return uint64Adapter{q: core.NewTwoLockTagged(cap, new(locks.TTAS), new(locks.TTAS))}
+				return uint64Adapter{q: core.NewTwoLockTagged(normCap(cap), new(locks.TTAS), new(locks.TTAS))}
 			},
 		},
 		{
@@ -136,7 +157,7 @@ func catalog() []Info {
 			Progress:     queue.NonBlocking,
 			Linearizable: true,
 			New: func(cap int) queue.Queue[int] {
-				return uint64Adapter{q: hazard.New(cap)}
+				return uint64Adapter{q: hazard.New(normCap(cap))}
 			},
 		},
 		{
@@ -190,7 +211,16 @@ func catalog() []Info {
 			Progress:     queue.Blocking,
 			Linearizable: true,
 			New: func(cap int) queue.Queue[int] {
-				return channelQueue{ch: make(chan int, cap+1)}
+				return channelQueue{ch: make(chan int, normCap(cap)+1)}
+			},
+		},
+		{
+			Name:         "ring",
+			Display:      "bounded ring (SCQ-style)",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			New: func(cap int) queue.Queue[int] {
+				return ring.New[int](normCap(cap))
 			},
 		},
 		{

@@ -1,0 +1,53 @@
+package algorithms_test
+
+import (
+	"testing"
+
+	"msqueue/internal/algorithms"
+)
+
+// TestCapacityConvention pins the catalog's capacity contract: every
+// constructor must tolerate cap <= 0 (which selects the implementation
+// default, see Info.New) and a small positive cap, and the resulting queue
+// must actually work. Before the convention was centralized, New(0) built
+// queues of capacity zero out of some bounded entries (a tagged arena whose
+// only node is the dummy) and panicked in others, depending on which
+// constructor the entry happened to wrap.
+func TestCapacityConvention(t *testing.T) {
+	const items = 4 // fits every bounded entry at the smallest cap below
+	for _, info := range algorithms.All() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			for _, capacity := range []int{0, -3, 8} {
+				q := info.New(capacity)
+				for i := 0; i < items; i++ {
+					q.Enqueue(i)
+				}
+				// A single-goroutine history admits only one linearization,
+				// so FIFO order is checkable even for the flawed entry; the
+				// relaxed entries guarantee just conservation, so collect a
+				// multiset for them.
+				seen := make(map[int]bool, items)
+				for i := 0; i < items; i++ {
+					v, ok := q.Dequeue()
+					if !ok {
+						t.Fatalf("cap %d: Dequeue %d reported empty, want %d items", capacity, i, items)
+					}
+					if info.Relaxed {
+						if v < 0 || v >= items || seen[v] {
+							t.Fatalf("cap %d: Dequeue returned %d (duplicate or out of range)", capacity, v)
+						}
+						seen[v] = true
+						continue
+					}
+					if v != i {
+						t.Fatalf("cap %d: Dequeue = %d, want %d", capacity, v, i)
+					}
+				}
+				if v, ok := q.Dequeue(); ok {
+					t.Fatalf("cap %d: Dequeue on drained queue returned %d", capacity, v)
+				}
+			}
+		})
+	}
+}

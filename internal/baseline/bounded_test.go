@@ -25,3 +25,22 @@ func TestBoundedConformance(t *testing.T) {
 		}, queuetest.BoundedOptions{})
 	})
 }
+
+// TestBoundedCycles runs the full/empty boundary property test. Both
+// implementations pin the boundary at the first fill's observed count
+// rather than the nominal capacity (Valois reserves a node for the dummy,
+// Lamport's ring distinguishes full from empty by sacrificing a slot), so
+// Exact stays off and the suite asserts the boundary never drifts.
+func TestBoundedCycles(t *testing.T) {
+	t.Run("valois", func(t *testing.T) {
+		queuetest.RunBoundedCycles(t, func(cap int) queue.Bounded[int] {
+			// One extra node for the dummy, as the catalog allocates it.
+			return queuetest.BoundedUint64(baseline.NewValois(cap + 1))
+		}, queuetest.BoundedCycleOptions{})
+	})
+	t.Run("lamport", func(t *testing.T) {
+		queuetest.RunBoundedCycles(t, func(cap int) queue.Bounded[int] {
+			return baseline.NewLamport[int](cap)
+		}, queuetest.BoundedCycleOptions{})
+	})
+}

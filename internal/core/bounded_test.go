@@ -24,3 +24,19 @@ func TestBoundedConformance(t *testing.T) {
 		}, queuetest.BoundedOptions{})
 	})
 }
+
+// TestBoundedCycles runs the full/empty boundary property test: the tagged
+// arenas hold exactly the requested capacity, and the boundary must not
+// drift over repeated fill/drain laps (a free-list leak would move it).
+func TestBoundedCycles(t *testing.T) {
+	t.Run("ms-tagged", func(t *testing.T) {
+		queuetest.RunBoundedCycles(t, func(cap int) queue.Bounded[int] {
+			return queuetest.BoundedUint64(core.NewMSTagged(cap))
+		}, queuetest.BoundedCycleOptions{Exact: true})
+	})
+	t.Run("two-lock-tagged", func(t *testing.T) {
+		queuetest.RunBoundedCycles(t, func(cap int) queue.Bounded[int] {
+			return queuetest.BoundedUint64(core.NewTwoLockTagged(cap, new(locks.TTAS), new(locks.TTAS)))
+		}, queuetest.BoundedCycleOptions{Exact: true})
+	})
+}

@@ -17,3 +17,12 @@ func TestBoundedConformance(t *testing.T) {
 		return queuetest.BoundedUint64(flawed.NewStoneTagged(cap))
 	}, queuetest.BoundedOptions{})
 }
+
+// TestBoundedCycles runs the full/empty boundary property test: Stone's
+// flaw is a concurrency race, so its sequential free-list bookkeeping must
+// hold the boundary exactly like the correct tagged queues.
+func TestBoundedCycles(t *testing.T) {
+	queuetest.RunBoundedCycles(t, func(cap int) queue.Bounded[int] {
+		return queuetest.BoundedUint64(flawed.NewStoneTagged(cap))
+	}, queuetest.BoundedCycleOptions{Exact: true})
+}

@@ -20,3 +20,15 @@ func TestBoundedConformance(t *testing.T) {
 		return queuetest.BoundedUint64(q)
 	}, queuetest.BoundedOptions{Settle: func() { q.Quiesce() }})
 }
+
+// TestBoundedCycles runs the full/empty boundary property test. The store
+// is sized with reclamation slack and retirement is deferred, so the
+// boundary is the first fill's observed count (Exact off) and each lap
+// quiesces the domain before refilling.
+func TestBoundedCycles(t *testing.T) {
+	var q *hazard.Queue
+	queuetest.RunBoundedCycles(t, func(cap int) queue.Bounded[int] {
+		q = hazard.New(cap)
+		return queuetest.BoundedUint64(q)
+	}, queuetest.BoundedCycleOptions{Settle: func() { q.Quiesce() }})
+}

@@ -1,0 +1,59 @@
+package linearizability_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/algorithms"
+	"msqueue/internal/linearizability"
+)
+
+// TestCatalogLinearizable records a concurrent history against every
+// linearizable catalog entry and runs the checker over it — the same loop
+// cmd/qcheck performs on demand, pinned into the test suite so a catalog
+// addition cannot dodge the checker. Entries that are Relaxed or flagged
+// non-linearizable (Stone) are skipped: the first would be falsely
+// convicted for permitted reorderings, the second is convicted by design
+// elsewhere (the checker's own tests and cmd/qcheck).
+//
+// The workload mirrors qcheck's: every process enqueues and dequeues with
+// an occasional extra dequeue to drive the queue through emptiness, so all
+// three operation kinds (enq, deq, deq-empty) appear in the history.
+func TestCatalogLinearizable(t *testing.T) {
+	procs, iters := 4, 1000
+	if !testing.Short() {
+		iters = 5000
+	}
+	for _, info := range algorithms.All() {
+		if !info.Linearizable || info.Relaxed {
+			continue
+		}
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			rec := linearizability.NewRecorder(info.New(0), 2*procs*iters)
+			var wg sync.WaitGroup
+			for p := 0; p < procs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						rec.Enqueue(p)
+						if i%5 == 0 {
+							rec.Dequeue(p) // drive occasional emptiness
+						}
+						rec.Dequeue(p)
+					}
+				}(p)
+			}
+			wg.Wait()
+			violations := linearizability.Check(rec.History())
+			for i, v := range violations {
+				if i == 5 {
+					t.Errorf("... %d more violations", len(violations)-5)
+					break
+				}
+				t.Errorf("violation: %v", v)
+			}
+		})
+	}
+}

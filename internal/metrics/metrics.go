@@ -65,6 +65,22 @@ const (
 	// SnapshotRetry counts re-taken consistent snapshots (PLJ's two-variable
 	// snapshot loop) and failed SafeRead validations (Valois).
 	SnapshotRetry
+	// RingEnqSlot counts extra enqueue iterations in the SCQ-style bounded
+	// ring (internal/ring): a fetch-and-add reserved a tail position whose
+	// slot could not be claimed — either the claim CAS lost to a concurrent
+	// slot transition or the slot still held a previous cycle's entry — so
+	// the enqueuer moved on to the next position.
+	RingEnqSlot
+	// RingDeqSlot counts extra dequeue iterations in the bounded ring: the
+	// reserved head position's slot was not consumable (an empty slot whose
+	// cycle had to be advanced, a lost consume CAS, or an entry left behind
+	// by a slow enqueuer that had to be marked unsafe).
+	RingDeqSlot
+	// RingCatchup counts tail catch-up swings in the bounded ring: a
+	// dequeuer that overran the tail dragged it forward so head and tail
+	// cannot drift apart unboundedly while the ring is empty — the ring's
+	// analogue of the MS queue's tail-lag helping (E12/D9).
+	RingCatchup
 	// LockSpin counts one observed-held probe of a lock acquisition (the
 	// TTAS family counts one per backoff episode) and, for the
 	// lock-free-but-blocking MC queue, one wait iteration on a
@@ -97,6 +113,12 @@ func (s Site) String() string {
 		return "deq inconsistent re-read (D5)"
 	case SnapshotRetry:
 		return "snapshot/safe-read retry"
+	case RingEnqSlot:
+		return "ring enq slot retry (SCQ)"
+	case RingDeqSlot:
+		return "ring deq slot retry (SCQ)"
+	case RingCatchup:
+		return "ring tail catch-up swing (SCQ)"
 	case LockSpin:
 		return "lock-spin / blocked wait"
 	case StealHit:
@@ -223,7 +245,7 @@ func (p *Probe) Snapshot() Snapshot {
 func stripeIdx() int {
 	var marker byte
 	h := uint64(uintptr(unsafe.Pointer(&marker))) * 0x9E3779B97F4A7C15
-	return int(h >> (64 - 4)) & (stripes - 1)
+	return int(h>>(64-4)) & (stripes - 1)
 }
 
 // Snapshot is a quiescent view of a probe's counters and histograms.
@@ -235,12 +257,13 @@ type Snapshot struct {
 }
 
 // Retries sums every site that represents one extra loop iteration of a
-// queue operation: CAS failures, consistency re-reads, helping swings and
-// snapshot retries. Lock spins and steal counters are excluded (reported
-// separately by LockSpins and Steals).
+// queue operation: CAS failures, consistency re-reads, helping swings,
+// snapshot retries and the bounded ring's slot/catch-up retries. Lock spins
+// and steal counters are excluded (reported separately by LockSpins and
+// Steals).
 func (s *Snapshot) Retries() int64 {
 	var total int64
-	for site := EnqueueLinkCAS; site <= SnapshotRetry; site++ {
+	for site := EnqueueLinkCAS; site <= RingCatchup; site++ {
 		total += s.Sites[site]
 	}
 	return total

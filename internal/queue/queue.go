@@ -40,6 +40,22 @@ type Bounded[T any] interface {
 	TryEnqueue(v T) bool
 }
 
+// Batcher is implemented by queues with amortized multi-element operations
+// (the bounded ring). A batch is NOT atomic: each element linearizes as its
+// own enqueue or dequeue, and elements from other goroutines may interleave
+// with a batch's. What a batch does guarantee is the order among its own
+// elements — EnqueueBatch appends them in slice order, DequeueBatch fills
+// the slice in queue order — and a partial count on a full (or empty)
+// queue instead of blocking.
+type Batcher[T any] interface {
+	// EnqueueBatch appends the values of vs in order until the queue
+	// fills, returning how many were accepted (a prefix of vs).
+	EnqueueBatch(vs []T) int
+	// DequeueBatch fills dst from the head of the queue, returning how
+	// many values it wrote.
+	DequeueBatch(dst []T) int
+}
+
 // Guarantees itemizes the properties a Relaxed queue retains after giving
 // up global FIFO order. The relaxed-order checker in internal/queuetest
 // verifies exactly these properties under concurrent stress.

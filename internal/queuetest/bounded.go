@@ -100,6 +100,109 @@ func RunBounded(t *testing.T, newQueue func(cap int) queue.Bounded[int], opts Bo
 	}
 }
 
+// BoundedCycleOptions tunes RunBoundedCycles for a particular
+// implementation.
+type BoundedCycleOptions struct {
+	// Capacity is passed to the constructor. Zero selects a small default.
+	Capacity int
+	// Rounds is the number of fill/drain cycles. Zero selects 8.
+	Rounds int
+	// Exact requires the queue to exhaust at exactly Capacity items.
+	// Implementations whose effective capacity is the nominal one (the
+	// tagged arena queues, the SCQ ring built with a power-of-two
+	// capacity) set this; those with structural slack (reference-counted
+	// or deferred-reclamation queues) leave it off and RunBoundedCycles
+	// pins the boundary to the first fill's observed count instead.
+	Exact bool
+	// Settle, when non-nil, runs after each drain and before the next
+	// fill (the same hook as BoundedOptions.Settle).
+	Settle func()
+}
+
+// RunBoundedCycles is the full/empty boundary property test: fill the queue
+// until TryEnqueue refuses, verify the refusal point is stable and — for
+// Exact implementations — lands exactly at the requested capacity, drain
+// in FIFO order, and repeat. Cycling through completely full and completely
+// empty many times is what shakes out slot/node bookkeeping that leaks one
+// unit per lap (a free-list entry lost on reuse, a ring slot whose cycle
+// was advanced but never reclaimed): any such leak shifts the boundary on
+// a later round and fails the test.
+func RunBoundedCycles(t *testing.T, newQueue func(cap int) queue.Bounded[int], opts BoundedCycleOptions) {
+	t.Helper()
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = defaultBoundedCapacity
+	}
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = 8
+	}
+	q := newQueue(capacity)
+
+	// Pin the boundary on the first fill.
+	limit := 4*capacity + 64
+	observed := 0
+	for observed < limit && q.TryEnqueue(observed) {
+		observed++
+	}
+	switch {
+	case observed == limit:
+		t.Fatalf("TryEnqueue accepted %d items on a queue built with capacity %d: never reported exhaustion", observed, capacity)
+	case observed == 0:
+		t.Fatalf("TryEnqueue refused the first item on an empty queue of capacity %d", capacity)
+	case opts.Exact && observed != capacity:
+		t.Fatalf("TryEnqueue exhausted after %d items, want exactly the requested capacity %d", observed, capacity)
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Full boundary: refusals must be stable and non-blocking.
+		for i := 0; i < 3; i++ {
+			if q.TryEnqueue(-1) {
+				t.Fatalf("round %d: TryEnqueue succeeded on a full queue (attempt %d)", round, i)
+			}
+		}
+		// Drain completely, in FIFO order, recovering every accepted item
+		// and none of the refused -1s.
+		for i := 0; i < observed; i++ {
+			v, ok := q.Dequeue()
+			if !ok {
+				t.Fatalf("round %d: queue empty after %d dequeues, want %d", round, i, observed)
+			}
+			if v != i {
+				t.Fatalf("round %d: Dequeue = %d, want %d", round, v, i)
+			}
+		}
+		// Empty boundary: stable emptiness.
+		for i := 0; i < 3; i++ {
+			if v, ok := q.Dequeue(); ok {
+				t.Fatalf("round %d: Dequeue on drained queue returned %d", round, v)
+			}
+		}
+		if opts.Settle != nil {
+			opts.Settle()
+		}
+		// Refill: the boundary must not have moved.
+		for i := 0; i < observed; i++ {
+			if !q.TryEnqueue(i) {
+				t.Fatalf("round %d: TryEnqueue refused item %d of %d after a full drain: capacity shrank", round, i, observed)
+			}
+		}
+		if q.TryEnqueue(-1) {
+			t.Fatalf("round %d: TryEnqueue accepted more than %d items: capacity grew", round, observed)
+		}
+	}
+
+	// Leave the queue drained so the test ends at a known state.
+	for i := 0; i < observed; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("final drain: Dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty after final drain")
+	}
+}
+
 // boundedUint64 adapts a uint64-valued bounded queue to queue.Bounded[int]
 // for RunBounded. The suite only uses non-negative values, so the
 // conversion is exact.

@@ -1,0 +1,134 @@
+package ring_test
+
+import (
+	"testing"
+
+	"msqueue/internal/ring"
+)
+
+// The ring's fuzz targets mirror internal/core's fuzzAgainstModel, with the
+// boundary folded into the oracle: the model knows the exact capacity, so
+// TryEnqueue must succeed precisely while the model is not full and
+// Dequeue must yield exactly the model's head. The first byte picks a
+// power-of-two capacity in {1, 2, 4, 8} — tiny rings lap fastest and put
+// the most pressure on the slot cycle arithmetic — and the rest is the
+// operation script.
+
+func fuzzRingSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 1, 0})
+	f.Add([]byte{1, 1, 1, 1, 0, 0, 0, 0})             // cap 2: overfill then overdrain
+	f.Add([]byte{2, 1, 0, 1, 0, 1, 0, 1, 0})          // cap 4: alternate
+	f.Add([]byte{3, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0}) // cap 8: mixed bursts
+}
+
+func FuzzRingAgainstModel(f *testing.F) {
+	fuzzRingSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity := 1
+		if len(data) > 0 {
+			capacity = 1 << (data[0] % 4)
+			data = data[1:]
+		}
+		q := ring.New[int](capacity)
+		var (
+			model []int
+			next  int
+		)
+		for i, b := range data {
+			if b%2 == 1 {
+				next++
+				ok := q.TryEnqueue(next)
+				if want := len(model) < capacity; ok != want {
+					t.Fatalf("op %d: TryEnqueue = %v with %d/%d live items, want %v", i, ok, len(model), capacity, want)
+				}
+				if ok {
+					model = append(model, next)
+				}
+				continue
+			}
+			v, ok := q.Dequeue()
+			if len(model) == 0 {
+				if ok {
+					t.Fatalf("op %d: dequeue on empty returned %d", i, v)
+				}
+				continue
+			}
+			want := model[0]
+			model = model[1:]
+			if !ok || v != want {
+				t.Fatalf("op %d: dequeue = %d,%v, want %d", i, v, ok, want)
+			}
+		}
+		for _, want := range model {
+			v, ok := q.Dequeue()
+			if !ok || v != want {
+				t.Fatalf("drain: dequeue = %d,%v, want %d", v, ok, want)
+			}
+		}
+		if v, ok := q.Dequeue(); ok {
+			t.Fatalf("queue not empty after drain: got %d", v)
+		}
+	})
+}
+
+// FuzzRingBatchAgainstModel drives the batch operations instead: each
+// script byte encodes an op in its low bit and a batch length in the next
+// three bits, so batches of 1..8 hit empty, full and chunk boundaries in
+// every combination. EnqueueBatch must accept exactly the free space (up
+// to the batch length) and DequeueBatch must return exactly the model
+// prefix.
+func FuzzRingBatchAgainstModel(f *testing.F) {
+	fuzzRingSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity := 1
+		if len(data) > 0 {
+			capacity = 1 << (data[0] % 4)
+			data = data[1:]
+		}
+		q := ring.New[int](capacity)
+		var (
+			model []int
+			next  int
+		)
+		for i, b := range data {
+			n := int(b>>1&7) + 1
+			if b%2 == 1 {
+				vs := make([]int, n)
+				for j := range vs {
+					next++
+					vs[j] = next
+				}
+				got := q.EnqueueBatch(vs)
+				if want := min(n, capacity-len(model)); got != want {
+					t.Fatalf("op %d: EnqueueBatch(%d) = %d with %d/%d live items, want %d", i, n, got, len(model), capacity, want)
+				}
+				model = append(model, vs[:got]...)
+				next -= n - got // unaccepted values are not live; reuse them
+				continue
+			}
+			dst := make([]int, n)
+			got := q.DequeueBatch(dst)
+			if want := min(n, len(model)); got != want {
+				t.Fatalf("op %d: DequeueBatch(%d) = %d with %d live items, want %d", i, n, got, len(model), want)
+			}
+			for j := 0; j < got; j++ {
+				if dst[j] != model[j] {
+					t.Fatalf("op %d: DequeueBatch[%d] = %d, want %d", i, j, dst[j], model[j])
+				}
+			}
+			model = model[got:]
+		}
+		dst := make([]int, len(model)+1)
+		if got := q.DequeueBatch(dst); got != len(model) {
+			t.Fatalf("drain: DequeueBatch = %d, want %d", got, len(model))
+		}
+		for j, want := range model {
+			if dst[j] != want {
+				t.Fatalf("drain: dst[%d] = %d, want %d", j, dst[j], want)
+			}
+		}
+	})
+}

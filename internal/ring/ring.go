@@ -1,0 +1,420 @@
+// Package ring implements a bounded lock-free MPMC FIFO queue in the style
+// of Nikolaev's SCQ ("A Scalable, Portable, and Memory-Efficient Lock-Free
+// FIFO Queue", DISC 2019; see PAPERS.md), the modern successor of the
+// paper's tagged queue for machines with only single-word CAS.
+//
+// Where the paper's algorithms thread a linked list through a node arena —
+// one or two CAS words (Head, Tail) that every operation fights over, plus
+// a pointer chase per node — the ring keeps a fixed circular array of
+// slots. Operations reserve a position with a fetch-and-add on Head or
+// Tail (FAA always succeeds, so the reservation itself never retries) and
+// then rendezvous on the reserved slot alone, spreading the contention
+// that the MS queue concentrates on two words across the whole array.
+//
+// The ABA defence is the same idea as the paper's count-tagged pointers in
+// a different place: instead of packing a modification counter next to a
+// node *reference*, each slot packs a cycle number — "which lap around the
+// ring does this entry belong to?" — next to the entry in a single uint64
+// CAS word. A slot's expected cycle is derived from the reserved position
+// (position / ring size), so a slow operation from a previous lap can
+// neither overwrite nor consume a newer entry: its CAS fails on the cycle
+// exactly as the paper's CAS fails on the counter.
+//
+// Two refinements come from SCQ, both load-bearing:
+//
+//   - The ring has 2n slots for a capacity of n live entries. With the ring
+//     at most half full, an enqueuer that loses a slot can always find a
+//     claimable one within a bounded number of further FAAs, which is what
+//     makes enqueue lock-free rather than livelock-prone.
+//   - A shared threshold counter bounds how many failed head reservations
+//     dequeuers may accumulate while the ring is empty; when it runs out
+//     dequeue reports empty immediately, and any successful enqueue resets
+//     it. Together with a tail catch-up swing this keeps Head from racing
+//     unboundedly ahead of Tail under a polling consumer.
+//
+// Arbitrary element types ride on the index-queue pair exactly as in SCQ:
+// the lock-free machinery moves small array indices (which fit a CAS word
+// beside their cycle), and a plain data array carries the values. A free
+// queue (fq) hands out unused indices, an allocation queue (aq) carries the
+// occupied ones; an index is owned by exactly one goroutine between leaving
+// one ring and entering the other, so the data array needs no atomics.
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"msqueue/internal/metrics"
+	"msqueue/internal/pad"
+	"msqueue/internal/queue"
+)
+
+// Slot word layout (one uint64, updated with single CAS):
+//
+//	bits 0..30   entry index + 1 (0 means "no entry", the paper's ⊥)
+//	bit  31      unsafe flag (set when a dequeuer moved past a slot that
+//	             still held an old entry; a later enqueuer may only reuse
+//	             the slot after re-checking Head)
+//	bits 32..63  cycle number of the entry (position / ring size)
+//
+// The 32-bit cycle wraps after 2^32 laps, the same "extremely unlikely"
+// counter wrap the paper accepts for its tagged references; cycleLess
+// compares cycles in wrap-aware modular arithmetic so transient wraps near
+// the boundary stay ordered.
+const (
+	idxBits    = 31
+	idxMask    = 1<<idxBits - 1 // entry index+1 field
+	unsafeFlag = 1 << idxBits
+	nilIdx     = int32(-1)
+)
+
+func packSlot(cycle uint32, unsafeBit uint64, idx int32) uint64 {
+	return uint64(cycle)<<32 | unsafeBit | uint64(uint32(idx+1))&idxMask
+}
+
+func slotCycle(s uint64) uint32  { return uint32(s >> 32) }
+func slotIndex(s uint64) int32   { return int32(uint32(s)&idxMask) - 1 }
+func slotUnsafe(s uint64) uint64 { return s & unsafeFlag }
+
+// cycleLess reports a < b in wrap-aware 32-bit modular order.
+func cycleLess(a, b uint32) bool { return int32(b-a) > 0 }
+
+// indexQueue is one SCQ ring of entry indices. It is the inner lock-free
+// primitive: a queue of small integers in [0, capacity) whose population
+// never exceeds half the ring, which is exactly the regime SCQ's liveness
+// argument needs. Ring composes two of them (fq and aq) into a queue of
+// arbitrary values.
+type indexQueue struct {
+	order uint   // log2(ring size); ring size = 2 × capacity
+	mask  uint64 // ring size - 1
+	slots []atomic.Uint64
+
+	_    pad.Line
+	head atomic.Uint64
+	_    pad.Line
+	tail atomic.Uint64
+	_    pad.Line
+	// threshold is SCQ's livelock bound: the maximum number of unlucky
+	// head reservations dequeuers may burn before empty is reported
+	// without touching the ring. Reset to thresholdMax by every
+	// successful enqueue; negative means "observed empty, nothing
+	// enqueued since".
+	threshold    atomic.Int64
+	thresholdMax int64
+	_            pad.Line
+}
+
+// init prepares a ring of 1<<order slots pre-filled with the indices
+// 0..prefill-1 (prefill may be 0 for an empty ring). Head and Tail start
+// one full lap in (position = ring size), so every live position's cycle is
+// strictly greater than the zero cycle of an untouched slot.
+func (q *indexQueue) init(order uint, prefill int) {
+	size := uint64(1) << order
+	q.order = order
+	q.mask = size - 1
+	q.slots = make([]atomic.Uint64, size)
+	q.thresholdMax = 3*int64(size)/2 - 1 // SCQ's 3n-1 for a 2n-slot ring
+	q.head.Store(size)
+	q.tail.Store(size + uint64(prefill))
+	if prefill > 0 {
+		q.threshold.Store(q.thresholdMax)
+	} else {
+		q.threshold.Store(-1)
+	}
+	for i := 0; i < prefill; i++ {
+		pos := size + uint64(i)
+		q.slots[q.remap(pos)].Store(packSlot(q.posCycle(pos), 0, int32(i)))
+	}
+}
+
+// posCycle is the lap number of a position: which time around the ring it
+// belongs to.
+func (q *indexQueue) posCycle(pos uint64) uint32 { return uint32(pos >> q.order) }
+
+// remap spreads consecutive positions across the ring so neighbouring
+// reservations do not rendezvous on the same cache line (SCQ's cache
+// remap). The low 4 bits of the ring offset become the high bits of the
+// slot index — a bijection on [0, ring size) — so positions i and i+1 land
+// ring/16 slots (≥ one cache line for rings of ≥ 256 slots) apart. Small
+// rings keep the identity map; spreading 16 positions across fewer than 16
+// lines buys nothing.
+func (q *indexQueue) remap(pos uint64) uint64 {
+	i := pos & q.mask
+	if q.order <= 4 {
+		return i
+	}
+	return i>>4 | (i&15)<<(q.order-4)
+}
+
+// enqueue appends idx. It always succeeds: the ring has twice as many slots
+// as the maximum population the outer queue admits, so a claimable slot is
+// always a bounded number of reservations away.
+func (q *indexQueue) enqueue(idx int32, probe *metrics.Probe) {
+	for {
+		t := q.tail.Add(1) - 1 // reserve a position (FAA, never retries)
+		j := q.remap(t)
+		tc := q.posCycle(t)
+		for {
+			s := q.slots[j].Load()
+			// The slot is claimable if it still belongs to an earlier lap,
+			// holds no entry, and either was never skipped by a dequeuer
+			// (safe) or Head has not yet moved past our position — in which
+			// case the dequeuer that will visit it is still to come and
+			// will find our entry.
+			if cycleLess(slotCycle(s), tc) && slotIndex(s) == nilIdx &&
+				(slotUnsafe(s) == 0 || q.head.Load() <= t) {
+				if q.slots[j].CompareAndSwap(s, packSlot(tc, 0, idx)) {
+					// A successful enqueue re-arms the dequeuers' empty
+					// detector.
+					if q.threshold.Load() != q.thresholdMax {
+						q.threshold.Store(q.thresholdMax)
+					}
+					return
+				}
+				probe.Add(metrics.RingEnqSlot, 1)
+				continue // slot changed under us; re-examine it
+			}
+			break
+		}
+		// Position unusable (occupied by an undequeued entry or claimed by
+		// a later lap): burn it and reserve the next one.
+		probe.Add(metrics.RingEnqSlot, 1)
+	}
+}
+
+// dequeue removes and returns the oldest index, or reports false on an
+// empty ring.
+func (q *indexQueue) dequeue(probe *metrics.Probe) (int32, bool) {
+	if q.threshold.Load() < 0 {
+		return nilIdx, false // observed empty and nothing enqueued since
+	}
+	for {
+		h := q.head.Add(1) - 1 // reserve a position
+		j := q.remap(h)
+		hc := q.posCycle(h)
+	again:
+		s := q.slots[j].Load()
+		if slotCycle(s) == hc && slotIndex(s) != nilIdx {
+			// The entry for this position is in place: consume it by
+			// clearing the index field, keeping cycle and safety bits. (A
+			// concurrent dequeuer from a later lap may mark the slot
+			// unsafe between our load and CAS; reload and retry — the
+			// cycle still matches, so the entry is still ours.)
+			if q.slots[j].CompareAndSwap(s, s&^uint64(idxMask)) {
+				return slotIndex(s), true
+			}
+			probe.Add(metrics.RingDeqSlot, 1)
+			goto again
+		}
+		if cycleLess(slotCycle(s), hc) {
+			// The slot lags our lap: the enqueue for this position has not
+			// happened yet (and may never). Advance an empty slot's cycle
+			// so that the slow enqueuer's claim fails, or mark an occupied
+			// one unsafe so its entry survives until a same-lap dequeuer
+			// returns for it.
+			var repl uint64
+			if slotIndex(s) == nilIdx {
+				repl = packSlot(hc, slotUnsafe(s), nilIdx)
+			} else {
+				repl = s | unsafeFlag
+			}
+			if !q.slots[j].CompareAndSwap(s, repl) {
+				probe.Add(metrics.RingDeqSlot, 1)
+				goto again
+			}
+			// The advance itself is wasted dequeue work: this position
+			// yields no entry.
+			probe.Add(metrics.RingDeqSlot, 1)
+		}
+		// This position yields nothing. If Tail is at or behind the
+		// position after ours the ring is empty: drag Tail forward so a
+		// polling consumer cannot push Head unboundedly far ahead, spend
+		// one threshold token and report empty.
+		t := q.tail.Load()
+		if t <= h+1 {
+			q.catchup(t, h+1, probe)
+			q.threshold.Add(-1)
+			return nilIdx, false
+		}
+		// Entries exist beyond our position. Spend a threshold token and
+		// retry at the next position; when the tokens run out (more failed
+		// reservations than 3·ring/2 since the last enqueue) the ring is
+		// empty for every practical purpose and we report it.
+		if q.threshold.Add(-1) <= -1 {
+			return nilIdx, false
+		}
+		probe.Add(metrics.RingDeqSlot, 1)
+	}
+}
+
+// catchup swings Tail forward to the head position that just overran it,
+// giving up as soon as some other operation has moved Tail at least as far.
+func (q *indexQueue) catchup(tail, head uint64, probe *metrics.Probe) {
+	for tail < head {
+		if q.tail.CompareAndSwap(tail, head) {
+			probe.Add(metrics.RingCatchup, 1)
+			return
+		}
+		head = q.head.Load()
+		tail = q.tail.Load()
+	}
+}
+
+// Ring is a bounded lock-free MPMC FIFO queue of values of type T with a
+// fixed power-of-two capacity. The zero value is not usable; call New.
+//
+// Enqueue and Dequeue are linearizable and lock-free; TryEnqueue
+// additionally reports, instead of waiting out, a full queue. The batch
+// operations amortize reservation traffic but are not atomic: each element
+// linearizes individually (see EnqueueBatch).
+type Ring[T any] struct {
+	capacity int
+	data     []T
+	probe    *metrics.Probe
+
+	fq indexQueue // free data cells, starts holding 0..capacity-1
+	aq indexQueue // allocated data cells, starts empty
+}
+
+// batchChunk bounds the indices a batch operation holds at once, so a batch
+// cannot pin more than a sliver of the free list and the scratch space
+// stays on the stack.
+const batchChunk = 32
+
+// New returns an empty ring with capacity for the given number of items,
+// rounded up to the next power of two (so the slot cycle is a cheap shift,
+// as in every ring queue from Lamport's to SCQ). Capacity must be at least
+// 1; Cap reports the rounded value.
+func New[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("ring: capacity must be >= 1, got %d", capacity))
+	}
+	n := 1 << uint(bits.Len(uint(capacity-1))) // next power of two
+	q := &Ring[T]{capacity: n, data: make([]T, n)}
+	order := uint(bits.Len(uint(n))) // log2(2n): ring size is twice the capacity
+	q.fq.init(order, n)
+	q.aq.init(order, 0)
+	return q
+}
+
+// Cap returns the capacity: the number of items the ring holds when full.
+func (q *Ring[T]) Cap() int { return q.capacity }
+
+// SetProbe installs a contention probe on the ring's retry loops (the
+// RingEnqSlot, RingDeqSlot and RingCatchup sites). Like every instrumented
+// queue in this repository it must be called before the ring is shared.
+func (q *Ring[T]) SetProbe(p *metrics.Probe) { q.probe = p }
+
+// TryEnqueue appends v and reports whether there was room.
+func (q *Ring[T]) TryEnqueue(v T) bool {
+	idx, ok := q.fq.dequeue(q.probe)
+	if !ok {
+		return false
+	}
+	// Between fq.dequeue and aq.enqueue the cell is exclusively ours; the
+	// CAS that publishes idx into aq orders this write before any reader.
+	q.data[idx] = v
+	q.aq.enqueue(idx, q.probe)
+	return true
+}
+
+// Enqueue appends v, spinning while the ring is momentarily full. Use
+// TryEnqueue to observe fullness instead (the same split as the tagged
+// arena queues).
+func (q *Ring[T]) Enqueue(v T) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// Dequeue removes and returns the oldest value, or reports false when the
+// ring is empty.
+func (q *Ring[T]) Dequeue() (T, bool) {
+	var zero T
+	idx, ok := q.aq.dequeue(q.probe)
+	if !ok {
+		return zero, false
+	}
+	v := q.data[idx]
+	// Clear the cell before recycling its index so the ring does not pin
+	// dead values against the garbage collector.
+	q.data[idx] = zero
+	q.fq.enqueue(idx, q.probe)
+	return v, true
+}
+
+// EnqueueBatch appends the values of vs in order until the ring fills,
+// returning how many were accepted (the first len result values of vs).
+//
+// The batch is not atomic — each element is its own linearizable enqueue
+// and other producers' items may interleave — but one producer's batch
+// preserves its internal order, and the two reservation phases are run
+// back-to-back per chunk (all free-cell claims, then all publishes) so the
+// FAA words stay hot instead of ping-ponging between the two rings on
+// every element.
+func (q *Ring[T]) EnqueueBatch(vs []T) int {
+	done := 0
+	var idxs [batchChunk]int32
+	for done < len(vs) {
+		chunk := min(len(vs)-done, batchChunk)
+		k := 0
+		for k < chunk {
+			idx, ok := q.fq.dequeue(q.probe)
+			if !ok {
+				break
+			}
+			q.data[idx] = vs[done+k]
+			idxs[k] = idx
+			k++
+		}
+		for i := 0; i < k; i++ {
+			q.aq.enqueue(idxs[i], q.probe)
+		}
+		done += k
+		if k < chunk {
+			break // ring full; what we claimed is published, stop here
+		}
+	}
+	return done
+}
+
+// DequeueBatch fills dst from the head of the ring, returning how many
+// values it wrote. Like EnqueueBatch it amortizes reservation traffic per
+// chunk and each element linearizes individually; the values written are in
+// queue order.
+func (q *Ring[T]) DequeueBatch(dst []T) int {
+	done := 0
+	var idxs [batchChunk]int32
+	var zero T
+	for done < len(dst) {
+		chunk := min(len(dst)-done, batchChunk)
+		k := 0
+		for k < chunk {
+			idx, ok := q.aq.dequeue(q.probe)
+			if !ok {
+				break
+			}
+			idxs[k] = idx
+			k++
+		}
+		for i := 0; i < k; i++ {
+			idx := idxs[i]
+			dst[done+i] = q.data[idx]
+			q.data[idx] = zero
+			q.fq.enqueue(idx, q.probe)
+		}
+		done += k
+		if k < chunk {
+			break // ring drained
+		}
+	}
+	return done
+}
+
+// Compile-time checks that the ring speaks the repository's contracts.
+var (
+	_ queue.Queue[int]     = (*Ring[int])(nil)
+	_ queue.Bounded[int]   = (*Ring[int])(nil)
+	_ queue.Batcher[int]   = (*Ring[int])(nil)
+	_ metrics.Instrumented = (*Ring[int])(nil)
+)
