@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"msqueue/internal/algorithms"
 )
@@ -28,6 +29,54 @@ func TestRunPassesForEveryLinearizableAlgorithm(t *testing.T) {
 				t.Fatalf("exit code = %d, want 0", code)
 			}
 		})
+	}
+}
+
+func TestChaosShortPassesForMS(t *testing.T) {
+	code, err := run([]string{"-chaos", "-short", "-seed", "7", "-algo", "ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+}
+
+func TestChaosShortPassesForSingleLock(t *testing.T) {
+	// The complementary direction: a Blocking declaration is verified by
+	// demonstrating an actual stall.
+	code, err := run([]string{"-chaos", "-short", "-seed", "7", "-algo", "single-lock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+}
+
+func TestChaosSkipsChannel(t *testing.T) {
+	// The channel comparator cannot be instrumented; -chaos must skip it
+	// cleanly rather than fail or hang.
+	code, err := run([]string{"-chaos", "-short", "-algo", "channel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+}
+
+func TestWithWatchdog(t *testing.T) {
+	if !withWatchdog(time.Second, func() {}) {
+		t.Fatal("instant function tripped the watchdog")
+	}
+	if !withWatchdog(0, func() {}) {
+		t.Fatal("disabled watchdog reported a trip")
+	}
+	hang := make(chan struct{})
+	defer close(hang)
+	if withWatchdog(10*time.Millisecond, func() { <-hang }) {
+		t.Fatal("hung function did not trip the watchdog")
 	}
 }
 

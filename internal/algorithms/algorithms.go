@@ -14,6 +14,7 @@ import (
 	"msqueue/internal/core"
 	"msqueue/internal/flawed"
 	"msqueue/internal/hazard"
+	"msqueue/internal/inject"
 	"msqueue/internal/locks"
 	"msqueue/internal/metrics"
 	"msqueue/internal/queue"
@@ -315,6 +316,14 @@ func (a uint64Adapter) Dequeue() (int, bool) {
 func (a uint64Adapter) SetProbe(p *metrics.Probe) {
 	if in, ok := a.q.(metrics.Instrumented); ok {
 		in.SetProbe(p)
+	}
+}
+
+// SetTracer forwards a fault-injection tracer to the wrapped queue, so the
+// chaos engine sees through the adapter.
+func (a uint64Adapter) SetTracer(tr inject.Tracer) {
+	if t, ok := a.q.(inject.Traceable); ok {
+		t.SetTracer(tr)
 	}
 }
 

@@ -3,8 +3,22 @@ package baseline
 import (
 	"sync"
 
+	"msqueue/internal/inject"
 	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
+)
+
+// Trace points exposed by SingleLock. They fire inside the critical
+// section: a goroutine crash-stopped there holds the only lock, so *every*
+// other operation stalls — the paper's section 1 description of what makes
+// a blocking algorithm fragile, in its purest form.
+const (
+	// PointSLEnqCritical fires while holding the lock in Enqueue, before the
+	// node is linked.
+	PointSLEnqCritical inject.Point = "SL:enq-critical-section"
+	// PointSLDeqCritical fires while holding the lock in Dequeue, before
+	// Head is examined.
+	PointSLDeqCritical inject.Point = "SL:deq-critical-section"
 )
 
 // SingleLock is the straightforward single-lock queue the paper uses as its
@@ -18,6 +32,8 @@ type SingleLock[T any] struct {
 
 	head *slNode[T] // dummy; both fields protected by lock
 	tail *slNode[T]
+
+	tr inject.Tracer
 }
 
 type slNode[T any] struct {
@@ -44,10 +60,28 @@ func (q *SingleLock[T]) SetProbe(p *metrics.Probe) {
 	}
 }
 
+// SetTracer installs a fault-injection tracer on the critical sections
+// and, when the lock is itself Traceable (the spin locks in internal/locks
+// are, sync.Mutex is not), on the lock's own pause point. Call before
+// sharing the queue.
+func (q *SingleLock[T]) SetTracer(tr inject.Tracer) {
+	q.tr = tr
+	if t, ok := q.lock.(inject.Traceable); ok {
+		t.SetTracer(tr)
+	}
+}
+
+func (q *SingleLock[T]) at(p inject.Point) {
+	if q.tr != nil {
+		q.tr.At(p)
+	}
+}
+
 // Enqueue appends v to the tail of the queue.
 func (q *SingleLock[T]) Enqueue(v T) {
 	n := &slNode[T]{value: v}
 	q.lock.Lock()
+	q.at(PointSLEnqCritical)
 	q.tail.next = n
 	q.tail = n
 	q.lock.Unlock()
@@ -56,6 +90,7 @@ func (q *SingleLock[T]) Enqueue(v T) {
 // Dequeue removes and returns the head value, or reports false when empty.
 func (q *SingleLock[T]) Dequeue() (T, bool) {
 	q.lock.Lock()
+	q.at(PointSLDeqCritical)
 	newHead := q.head.next
 	if newHead == nil {
 		q.lock.Unlock()

@@ -4,7 +4,21 @@ import (
 	"sync/atomic"
 
 	"msqueue/internal/backoff"
+	"msqueue/internal/inject"
 	"msqueue/internal/persistent"
+)
+
+// Trace points exposed by Universal. They fire between loading the root
+// pointer and attempting the CAS — the window in which a crash-stopped
+// goroutine holds nothing the others need, which is exactly Herlihy's
+// lock-freedom argument: a failed CAS implies somebody else's succeeded.
+const (
+	// PointUEnqCAS fires in Enqueue after computing the successor state,
+	// before the root compare_and_swap.
+	PointUEnqCAS inject.Point = "U:enq-before-cas"
+	// PointUDeqCAS fires in Dequeue after computing the successor state,
+	// before the root compare_and_swap.
+	PointUDeqCAS inject.Point = "U:deq-before-cas"
 )
 
 // Universal is a queue obtained from a *general methodology* rather than a
@@ -30,6 +44,7 @@ import (
 //     lets them proceed on disjoint words (Head vs Tail).
 type Universal[T any] struct {
 	state atomic.Pointer[persistent.Queue[T]]
+	tr    inject.Tracer
 }
 
 // NewUniversal returns an empty queue.
@@ -39,12 +54,24 @@ func NewUniversal[T any]() *Universal[T] {
 	return u
 }
 
+// SetTracer installs a fault-injection tracer on the pre-CAS windows. Call
+// before sharing the queue.
+func (u *Universal[T]) SetTracer(tr inject.Tracer) { u.tr = tr }
+
+func (u *Universal[T]) at(p inject.Point) {
+	if u.tr != nil {
+		u.tr.At(p)
+	}
+}
+
 // Enqueue appends v to the tail of the queue.
 func (u *Universal[T]) Enqueue(v T) {
 	var bo backoff.Backoff
 	for {
 		old := u.state.Load()
-		if u.state.CompareAndSwap(old, old.Enqueue(v)) {
+		next := old.Enqueue(v)
+		u.at(PointUEnqCAS)
+		if u.state.CompareAndSwap(old, next) {
 			return
 		}
 		bo.Wait()
@@ -61,6 +88,7 @@ func (u *Universal[T]) Dequeue() (T, bool) {
 			var zero T
 			return zero, false
 		}
+		u.at(PointUDeqCAS)
 		if u.state.CompareAndSwap(old, rest) {
 			return v, true
 		}

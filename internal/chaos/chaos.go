@@ -1,0 +1,427 @@
+// Package chaos is an adversarial scheduler that empirically verifies the
+// progress guarantee each catalog entry declares.
+//
+// The paper's taxonomy (section 1) is behavioural: an algorithm is
+// non-blocking if some process finishes its operation in a bounded number
+// of steps even when another process is "halted or delayed at an
+// inopportune moment", and blocking if a single stalled process can
+// prevent every other from completing. This package turns that definition
+// into an experiment:
+//
+//   - Crash-stop adversary. For every pause point an implementation
+//     exports through internal/inject, one worker (the victim) is parked
+//     indefinitely *at* that point — mid-operation, possibly holding a
+//     lock or an unlinked suffix — while its peers keep running
+//     enqueue/dequeue pairs. If the peers complete an operation quota the
+//     point is "completed"; if their shared completion counter stops
+//     advancing for a full stall window the point is "stalled".
+//
+//   - Verdict. A queue.NonBlocking (or queue.WaitFree) entry must
+//     complete at every reachable point: no single halted process may
+//     stop the others. A queue.Blocking entry must stall at *some*
+//     point: if no crash anywhere can stop the peers, the Blocking label
+//     is unsubstantiated. The two directions together catch flipped
+//     declarations both ways.
+//
+//   - Delay adversary. Independently of crash-stops, a seeded
+//     probabilistic tracer (inject.Delay) stretches random pause points
+//     by yields and occasional sleeps — the paper's "delayed at an
+//     inopportune moment" without the permanence — while a conservation
+//     workload checks that no item is lost or duplicated and that the
+//     run terminates.
+//
+// Progress is measured on the *group*, not the victim: the counter that
+// must keep advancing sums completions across all surviving peers, which
+// is exactly the non-blocking (lock-free) guarantee — individual
+// starvation is permitted, collective stall is not.
+//
+// A worker's unit of progress is one enqueue followed by one *successful*
+// dequeue. An unsuccessful dequeue (empty report) does not count: both
+// blocking pathologies this repository reproduces manifest precisely as
+// dequeues that cannot succeed — MC dequeuers wait inside Dequeue for a
+// claimed-but-unlinked suffix, Stone dequeuers are told "empty" past one —
+// and a workload that credited empty reports as progress would miss them.
+// The pairing also bounds queue occupancy by the worker count, keeping
+// bounded-arena entries (valois, ms-tagged, ring) away from exhaustion,
+// which matters because a crash-stopped victim can pin arena nodes
+// (Valois's reference counting frees nothing a halted holder can reach).
+//
+// Everything is seeded: the crash visit ordinal for each point and the
+// delay adversary's coin flips derive from Config.Seed, so a failing run
+// is reproducible from the seed printed in its report.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msqueue/internal/inject"
+	"msqueue/internal/queue"
+)
+
+// Entry is one algorithm under test. It mirrors the catalog entry shape
+// (internal/algorithms) without importing it, so that package can in turn
+// build on this one.
+type Entry struct {
+	// Name is the catalog key, used in reports.
+	Name string
+	// Progress is the entry's *declared* guarantee — the claim being
+	// verified.
+	Progress queue.Progress
+	// New constructs a fresh queue; capacity is a hint for bounded
+	// variants, as in the catalog.
+	New func(capacity int) queue.Queue[int]
+}
+
+// Config tunes the adversary. The zero value selects the defaults noted
+// on each field (see withDefaults).
+type Config struct {
+	// Peers is the total number of workers, including the one that will
+	// be crash-stopped. Default 4.
+	Peers int
+	// Ops is the number of enqueue/dequeue-pair completions the surviving
+	// peers must accumulate, *after* the crash, for a point to count as
+	// completed. It bounds post-crash arena consumption, so keep it well
+	// under Capacity. Default 256.
+	Ops int
+	// Capacity is passed to Entry.New. Default 4096.
+	Capacity int
+	// Budget is the wall-clock ceiling on waiting for the quota. A run
+	// that neither completes nor stalls within it is reported with both
+	// flags false. Default 10s.
+	Budget time.Duration
+	// StallWindow is how long the group completion counter must stay
+	// frozen before the point is declared stalled. Default 300ms.
+	StallWindow time.Duration
+	// EnterWait is how long to wait for the victim to reach the pause
+	// point at all; points that a concurrent workload does not visit are
+	// reported as unreached rather than failing. Default 2s.
+	EnterWait time.Duration
+	// MaxNth bounds the randomized crash ordinal: the adversary parks
+	// whichever worker makes the Nth visit to the point, N drawn
+	// uniformly from [1, MaxNth]. Default 16.
+	MaxNth int
+	// DelayPairs is the per-worker pair count for the delay-adversary
+	// conservation run. Default 400.
+	DelayPairs int
+	// Seed makes runs reproducible; 0 selects 1 (still deterministic).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Peers <= 1 {
+		c.Peers = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 256
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.Budget <= 0 {
+		c.Budget = 10 * time.Second
+	}
+	if c.StallWindow <= 0 {
+		c.StallWindow = 300 * time.Millisecond
+	}
+	if c.EnterWait <= 0 {
+		c.EnterWait = 2 * time.Second
+	}
+	if c.MaxNth <= 0 {
+		c.MaxNth = 16
+	}
+	if c.DelayPairs <= 0 {
+		c.DelayPairs = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ShortConfig is the reduced configuration used under -short and in CI:
+// smaller quotas and windows, same verdict semantics. The sizes are tuned
+// for the pure-spin entries, whose waiters burn whole scheduling quanta on
+// a single-core runner (the paper's Figures 4–5 degradation), making every
+// contended operation orders of magnitude slower than on the other locks.
+func ShortConfig(seed int64) Config {
+	return Config{
+		Peers:       3,
+		Ops:         96,
+		Budget:      5 * time.Second,
+		StallWindow: 150 * time.Millisecond,
+		EnterWait:   1 * time.Second,
+		DelayPairs:  100,
+		Seed:        seed,
+	}
+}
+
+// PointResult is the outcome of one crash-stop experiment.
+type PointResult struct {
+	// Point is the pause point at which the victim was parked.
+	Point inject.Point
+	// Nth is the visit ordinal that triggered the crash (seeded).
+	Nth int
+	// Crashed reports whether any worker reached the point and was
+	// parked. False means the concurrent workload never visited it
+	// (within EnterWait); such points are vacuous for the verdict.
+	Crashed bool
+	// Completed reports that the surviving peers accumulated the Ops
+	// quota with the victim still parked.
+	Completed bool
+	// Stalled reports that the group completion counter froze for a full
+	// StallWindow with the victim still parked.
+	Stalled bool
+	// Ops is the number of pair completions observed after the crash.
+	Ops int
+	// Elapsed is the wall-clock duration of the experiment.
+	Elapsed time.Duration
+}
+
+// Report is the verdict for one entry across all of its pause points.
+type Report struct {
+	// Name and Progress echo the entry.
+	Name     string
+	Progress queue.Progress
+	// Traceable reports whether the entry exposes pause points at all.
+	// Untraceable entries (the channel comparator) cannot be verified and
+	// produce an empty Points slice; callers decide whether that is
+	// acceptable.
+	Traceable bool
+	// Seed reproduces the run.
+	Seed int64
+	// Points holds one result per discovered pause point.
+	Points []PointResult
+	// DelayOps is the total pair count completed under the delay
+	// adversary; DelayErr is non-empty if conservation or termination
+	// failed.
+	DelayOps int
+	DelayErr string
+}
+
+// Ok reports whether the entry's declared progress guarantee survived the
+// adversary. Untraceable entries are not Ok: they were not verified.
+func (r Report) Ok() bool { return r.Traceable && len(r.Failures()) == 0 }
+
+// Failures lists each way the declaration was contradicted, empty when the
+// declaration held. Untraceable entries fail with a single entry saying so.
+func (r Report) Failures() []string {
+	if !r.Traceable {
+		return []string{fmt.Sprintf("%s: no pause points exposed; progress guarantee not verifiable", r.Name)}
+	}
+	var fails []string
+	stalls := 0
+	for _, p := range r.Points {
+		if !p.Crashed {
+			continue
+		}
+		if p.Stalled {
+			stalls++
+		}
+		if r.Progress >= queue.NonBlocking && !p.Completed {
+			fails = append(fails, fmt.Sprintf(
+				"%s: declared %v but peers did not complete with victim crashed at %s (nth=%d, ops=%d, stalled=%v)",
+				r.Name, r.Progress, p.Point, p.Nth, p.Ops, p.Stalled))
+		}
+	}
+	if r.Progress == queue.Blocking && stalls == 0 {
+		fails = append(fails, fmt.Sprintf(
+			"%s: declared %v but no crash-stop at any of %d points stalled the peers",
+			r.Name, r.Progress, len(r.Points)))
+	}
+	if r.DelayErr != "" {
+		fails = append(fails, fmt.Sprintf("%s: delay adversary: %s", r.Name, r.DelayErr))
+	}
+	return fails
+}
+
+// Discover returns the pause points the entry visits, found by running a
+// small sequential workload under a counting tracer: a few dequeues on the
+// empty queue (empty-path points), a burst of enqueues, then a drain. The
+// second return is false when the entry is not inject.Traceable.
+func Discover(e Entry, capacity int) ([]inject.Point, bool) {
+	q := e.New(capacity)
+	t, ok := q.(inject.Traceable)
+	if !ok {
+		return nil, false
+	}
+	c := &inject.Counter{}
+	t.SetTracer(c)
+	for i := 0; i < 3; i++ {
+		q.Dequeue()
+	}
+	for i := 0; i < 32; i++ {
+		q.Enqueue(i)
+	}
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+	}
+	return c.Points(), true
+}
+
+// CrashAt runs one crash-stop experiment: Peers workers run
+// enqueue/dequeue pairs on a fresh instance of e while an NthGate parks
+// whichever worker makes the nth visit to point p. The surviving peers'
+// joint completion counter then decides the outcome (see PointResult).
+// The victim is always released before returning, so no goroutine leaks.
+func CrashAt(e Entry, p inject.Point, nth int, cfg Config) PointResult {
+	cfg = cfg.withDefaults()
+	q := e.New(cfg.Capacity)
+	gate := inject.NewNthGate(p, nth)
+	q.(inject.Traceable).SetTracer(gate)
+
+	var ops atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Peers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				q.Enqueue(id<<20 | i)
+				for {
+					if _, ok := q.Dequeue(); ok {
+						break
+					}
+					if stop.Load() {
+						return
+					}
+					runtime.Gosched()
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	res := PointResult{Point: p, Nth: nth}
+	start := time.Now()
+	finish := func() PointResult {
+		res.Elapsed = time.Since(start)
+		stop.Store(true)
+		gate.Release() // un-park the victim (idempotent; harmless if never entered)
+		wg.Wait()
+		return res
+	}
+
+	select {
+	case <-gate.Entered():
+		res.Crashed = true
+	case <-time.After(cfg.EnterWait):
+		return finish() // point unreached concurrently: vacuous
+	}
+
+	// The victim is parked. Watch the group counter: quota ⇒ completed,
+	// a frozen window ⇒ stalled, budget exhaustion ⇒ neither.
+	base := ops.Load()
+	last, lastMove := base, time.Now()
+	deadline := start.Add(cfg.Budget)
+	for {
+		time.Sleep(2 * time.Millisecond)
+		cur := ops.Load()
+		if cur != last {
+			last, lastMove = cur, time.Now()
+		}
+		if cur-base >= int64(cfg.Ops) {
+			res.Completed = true
+			break
+		}
+		if time.Since(lastMove) >= cfg.StallWindow {
+			res.Stalled = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	res.Ops = int(ops.Load() - base)
+	return finish()
+}
+
+// Verify runs the full adversary against one entry: a crash-stop
+// experiment at every discovered pause point (each with a seeded random
+// visit ordinal), then the delay-adversary conservation run. The report
+// carries per-point outcomes; Report.Ok gives the verdict.
+func Verify(e Entry, cfg Config) Report {
+	cfg = cfg.withDefaults()
+	rep := Report{Name: e.Name, Progress: e.Progress, Seed: cfg.Seed}
+	points, ok := Discover(e, cfg.Capacity)
+	rep.Traceable = ok && len(points) > 0
+	if !rep.Traceable {
+		return rep
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, p := range points {
+		nth := 1 + rng.Intn(cfg.MaxNth)
+		rep.Points = append(rep.Points, CrashAt(e, p, nth, cfg))
+	}
+	q := e.New(cfg.Capacity)
+	if t, ok := q.(inject.Traceable); ok {
+		t.SetTracer(inject.NewDelay(cfg.Seed, 0.15, 6))
+	}
+	n, err := DelayStress(q, cfg.Peers, cfg.DelayPairs)
+	rep.DelayOps = n
+	if err != nil {
+		rep.DelayErr = err.Error()
+	}
+	return rep
+}
+
+// DelayStress runs the conservation workload: peers workers each complete
+// pairs enqueue/dequeue-until-success cycles on q (whatever tracer — such
+// as an inject.Delay — the caller installed beforehand stays in effect),
+// then the drained queue must be empty and the multiset of dequeued values
+// must equal the multiset enqueued. It returns the total pair count and a
+// non-nil error on loss, duplication, or a corrupted value.
+//
+// Termination is guaranteed for a correct queue: every worker enqueues
+// before it dequeues, so the queue cannot be empty while any worker still
+// owes a successful dequeue — some peer's item is always present.
+func DelayStress(q queue.Queue[int], peers, pairs int) (int, error) {
+	var enqSum, deqSum, deqCount atomic.Int64
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < peers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				v := id<<20 | i
+				q.Enqueue(v)
+				enqSum.Add(int64(v))
+				for {
+					got, ok := q.Dequeue()
+					if ok {
+						if got < 0 || got>>20 >= peers || got&(1<<20-1) >= pairs {
+							bad.Add(1)
+						}
+						deqSum.Add(int64(got))
+						deqCount.Add(1)
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := peers * pairs
+	if n := bad.Load(); n > 0 {
+		return total, fmt.Errorf("%d dequeued values outside the enqueued domain", n)
+	}
+	if got := deqCount.Load(); got != int64(total) {
+		return total, fmt.Errorf("dequeued %d of %d items", got, total)
+	}
+	if _, ok := q.Dequeue(); ok {
+		return total, fmt.Errorf("queue not empty after balanced workload (duplicated item)")
+	}
+	if enqSum.Load() != deqSum.Load() {
+		return total, fmt.Errorf("value checksum mismatch: enqueued %d, dequeued %d", enqSum.Load(), deqSum.Load())
+	}
+	return total, nil
+}

@@ -1,0 +1,162 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"msqueue/internal/algorithms"
+	"msqueue/internal/chaos"
+	"msqueue/internal/inject"
+	"msqueue/internal/queue"
+	"msqueue/internal/sharded"
+)
+
+// testConfig is the reduced adversary configuration used throughout this
+// package's tests: same verdict semantics as the full sweep (cmd/qcheck
+// -chaos), smaller quotas and windows. The seed is fixed so a failure
+// reproduces exactly.
+func testConfig() chaos.Config { return chaos.ShortConfig(42) }
+
+// entry adapts a catalog entry for the chaos engine.
+func entry(info algorithms.Info) chaos.Entry {
+	return chaos.Entry{Name: info.Name, Progress: info.Progress, New: info.New}
+}
+
+// untraceable lists the catalog entries that expose no pause points and
+// therefore cannot be verified: the Go channel's send/receive path is
+// runtime code this module cannot instrument. Every other entry MUST be
+// verifiable — growing this list is a conscious decision, not a fallback.
+var untraceable = map[string]bool{"channel": true}
+
+// TestCatalogConformance is the tentpole assertion: for every catalog
+// entry, the progress guarantee its metadata declares survives the
+// crash-stop adversary at every discovered pause point, and the delay
+// adversary preserves items. A NonBlocking entry that stalls, or a
+// Blocking entry that cannot be stalled anywhere, fails here.
+func TestCatalogConformance(t *testing.T) {
+	for _, info := range algorithms.All() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			rep := chaos.Verify(entry(info), testConfig())
+			if !rep.Traceable {
+				if !untraceable[info.Name] {
+					t.Fatalf("%s exposes no pause points; hook it through internal/inject or add it to the untraceable allowlist with justification", info.Name)
+				}
+				t.Skipf("%s: not instrumentable (allowlisted)", info.Name)
+			}
+			if untraceable[info.Name] {
+				t.Fatalf("%s is on the untraceable allowlist but exposes points %v; remove it from the list", info.Name, rep.Points)
+			}
+			for _, f := range rep.Failures() {
+				t.Errorf("seed %d: %s", rep.Seed, f)
+			}
+			if t.Failed() {
+				for _, p := range rep.Points {
+					t.Logf("point %-28s nth=%-2d crashed=%-5v completed=%-5v stalled=%-5v ops=%d",
+						p.Point, p.Nth, p.Crashed, p.Completed, p.Stalled, p.Ops)
+				}
+			}
+		})
+	}
+}
+
+// TestMisclassificationCaught verifies the engine's discriminating power
+// in both directions: a deliberately flipped Progress declaration must be
+// rejected. Without this, a verifier that vacuously passes everything
+// would pass the conformance sweep too.
+func TestMisclassificationCaught(t *testing.T) {
+	ms, err := algorithms.Lookup("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := algorithms.Lookup("single-lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("nonblocking-declared-blocking", func(t *testing.T) {
+		lie := chaos.Entry{Name: "ms-as-blocking", Progress: queue.Blocking, New: ms.New}
+		rep := chaos.Verify(lie, testConfig())
+		if rep.Ok() {
+			t.Fatalf("MS queue declared Blocking passed verification; the engine cannot detect an unsubstantiated Blocking label")
+		}
+	})
+	t.Run("blocking-declared-nonblocking", func(t *testing.T) {
+		lie := chaos.Entry{Name: "single-lock-as-nonblocking", Progress: queue.NonBlocking, New: sl.New}
+		rep := chaos.Verify(lie, testConfig())
+		if rep.Ok() {
+			t.Fatalf("single-lock queue declared NonBlocking passed verification; the engine cannot detect a false NonBlocking label")
+		}
+	})
+}
+
+// TestVerifyReproducible checks that the randomized choices — which visit
+// ordinal is crashed at each point — are a pure function of the seed, so
+// the seed printed in a failing report replays the same experiments.
+func TestVerifyReproducible(t *testing.T) {
+	ms, err := algorithms.Lookup("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := chaos.Verify(entry(ms), testConfig())
+	b := chaos.Verify(entry(ms), testConfig())
+	if len(a.Points) == 0 || len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i].Point != b.Points[i].Point || a.Points[i].Nth != b.Points[i].Nth {
+			t.Errorf("experiment %d differs across runs with one seed: (%s, nth=%d) vs (%s, nth=%d)",
+				i, a.Points[i].Point, a.Points[i].Nth, b.Points[i].Point, b.Points[i].Nth)
+		}
+	}
+}
+
+// TestShardedStealPointVerified exercises the work-stealing pause point,
+// which needs more than one shard to exist: the catalog entry sizes its
+// shard count to GOMAXPROCS, so on a single-core runner the steal loop —
+// and its guarantee that a crashed thief blocks no one — would otherwise
+// escape verification.
+func TestShardedStealPointVerified(t *testing.T) {
+	e := chaos.Entry{
+		Name:     "sharded-4",
+		Progress: queue.NonBlocking,
+		New:      func(int) queue.Queue[int] { return sharded.New[int](4) },
+	}
+	points, ok := chaos.Discover(e, 0)
+	if !ok {
+		t.Fatal("sharded queue is not traceable")
+	}
+	found := false
+	for _, p := range points {
+		if p == sharded.PointShardedSteal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("discovery over a 4-shard queue missed %s (got %v)", sharded.PointShardedSteal, points)
+	}
+	res := chaos.CrashAt(e, sharded.PointShardedSteal, 1, testConfig())
+	if !res.Crashed {
+		t.Fatalf("no worker reached %s under the concurrent workload", sharded.PointShardedSteal)
+	}
+	if !res.Completed || res.Stalled {
+		t.Fatalf("peers did not complete with a thief crashed mid-scan: %+v", res)
+	}
+}
+
+// TestDelayStressConservation runs the delay adversary standalone against
+// the MS queue and checks it reports clean conservation.
+func TestDelayStressConservation(t *testing.T) {
+	ms, err := algorithms.Lookup("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ms.New(0)
+	q.(inject.Traceable).SetTracer(inject.NewDelay(7, 0.2, 5))
+	n, err := chaos.DelayStress(q, 4, 200)
+	if err != nil {
+		t.Fatalf("after %d pairs: %v", n, err)
+	}
+	if n != 4*200 {
+		t.Fatalf("completed %d pairs, want %d", n, 4*200)
+	}
+}

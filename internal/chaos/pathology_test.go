@@ -1,0 +1,73 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"msqueue/internal/algorithms"
+	"msqueue/internal/baseline"
+	"msqueue/internal/chaos"
+	"msqueue/internal/core"
+)
+
+// This file is the deterministic regression distilled from the sweep: the
+// paper's section 1 pathology, reproduced as a directed pair of
+// experiments rather than a randomized one. The scenario is identical on
+// both sides — crash-stop the *first* dequeuer mid-operation, ask the
+// peers to keep going — and only the algorithm differs.
+//
+// On the single-lock queue the victim halts inside its critical section,
+// holding the one lock every operation needs: "processes that are blocked
+// waiting for the lock cannot perform useful work" (section 1).
+//
+// On the MS queue the victim halts at pseudo-code line D12 — the
+// linearizing CAS of dequeue, "D12: if CAS(&Q->Head, head, <next.ptr,
+// head.count+1>)" (Figure 1) — the latest possible instant inside a
+// dequeue. A process halted there owns nothing: a peer's own D12 CAS on
+// the same snapshot simply wins, and the victim (were it resumed) would
+// loop back to D2. That is the non-blocking condition made concrete.
+
+// pathologyConfig pins every knob, so both experiments are the directed,
+// repeatable form of the scenario (crash the very first visit, fixed
+// quotas) rather than the seeded sweep.
+func pathologyConfig() chaos.Config {
+	cfg := chaos.ShortConfig(1)
+	cfg.MaxNth = 1 // crash the first visit, deterministically
+	return cfg
+}
+
+// TestCrashedSingleLockDequeuerStallsAllPeers crash-stops a dequeuer
+// between lock acquisition and the Head inspection and asserts that the
+// peers' joint completion counter freezes: total stall propagation.
+func TestCrashedSingleLockDequeuerStallsAllPeers(t *testing.T) {
+	sl, err := algorithms.Lookup("single-lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := chaos.CrashAt(entry(sl), baseline.PointSLDeqCritical, 1, pathologyConfig())
+	if !res.Crashed {
+		t.Fatalf("no dequeuer reached %s", baseline.PointSLDeqCritical)
+	}
+	if !res.Stalled {
+		t.Fatalf("peers kept completing (%d ops) with the lock holder halted; expected a total stall: %+v", res.Ops, res)
+	}
+	if res.Completed {
+		t.Fatalf("peers met the quota despite a halted lock holder: %+v", res)
+	}
+}
+
+// TestCrashedMSDequeuerDoesNotStallPeers runs the identical scenario
+// against the MS queue, with the victim halted at line D12, and asserts
+// the peers complete the full quota regardless.
+func TestCrashedMSDequeuerDoesNotStallPeers(t *testing.T) {
+	ms, err := algorithms.Lookup("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := chaos.CrashAt(entry(ms), core.PointD12BeforeSwing, 1, pathologyConfig())
+	if !res.Crashed {
+		t.Fatalf("no dequeuer reached %s", core.PointD12BeforeSwing)
+	}
+	if res.Stalled || !res.Completed {
+		t.Fatalf("peers failed to complete with a victim halted at D12 (ops=%d): %+v", res.Ops, res)
+	}
+}

@@ -131,3 +131,21 @@ func BenchmarkMSProbe(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("on", func(b *testing.B) { run(b, metrics.NewProbe()) })
 }
+
+// BenchmarkMSTracer pins the cost of the fault-injection pause points the
+// chaos engine relies on, following the BenchmarkMSProbe pattern: "off" is
+// the production configuration (nil tracer — the hooks must cost one nil
+// check), "on" installs a counting tracer as a ceiling.
+func BenchmarkMSTracer(b *testing.B) {
+	run := func(b *testing.B, tr inject.Tracer) {
+		q := NewMS[int]()
+		q.SetTracer(tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(i)
+			q.Dequeue()
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, &inject.Counter{}) })
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"msqueue/internal/inject"
 	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
@@ -26,6 +27,7 @@ type MS[T any] struct {
 	tail atomic.Pointer[msNode[T]]
 	_    pad.Line
 
+	tr    inject.Tracer
 	probe *metrics.Probe
 }
 
@@ -50,21 +52,36 @@ func NewMS[T any]() *MS[T] {
 // the success paths never touch it, and the retry paths pay one branch.
 func (q *MS[T]) SetProbe(p *metrics.Probe) { q.probe = p }
 
+// SetTracer installs a fault-injection tracer at the same pseudo-code
+// instants the tagged variant exposes (E5, E9, E13, D2, D12; D14 does not
+// exist here — freeing is the collector's job). It must be called before
+// the queue is shared; a nil tracer costs one nil check per point.
+func (q *MS[T]) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+func (q *MS[T]) at(p inject.Point) {
+	if q.tr != nil {
+		q.tr.At(p)
+	}
+}
+
 // Enqueue appends v to the tail of the queue. It is lock-free: the loop
 // re-runs only when some other process has completed an enqueue in the
 // meantime (paper, section 3.3).
 func (q *MS[T]) Enqueue(v T) {
 	n := &msNode[T]{value: v} // E1–E3: allocate, fill, next = nil
 	for {
-		tail := q.tail.Load()      // E5
+		tail := q.tail.Load() // E5
+		q.at(PointE5ReadTail)
 		next := tail.next.Load()   // E6
 		if tail != q.tail.Load() { // E7: are tail and next consistent?
 			q.probe.Add(metrics.EnqueueInconsistent, 1)
 			continue
 		}
 		if next == nil { // E8: was Tail pointing to the last node?
+			q.at(PointE9BeforeLink)
 			// E9: try to link the node at the end of the list.
 			if tail.next.CompareAndSwap(nil, n) {
+				q.at(PointE13BeforeSwing)
 				// E13: enqueue is done; try to swing Tail to the node.
 				// Failure means someone already helped us — fine either way.
 				q.tail.CompareAndSwap(tail, n)
@@ -83,7 +100,8 @@ func (q *MS[T]) Enqueue(v T) {
 // the queue is empty.
 func (q *MS[T]) Dequeue() (T, bool) {
 	for {
-		head := q.head.Load()      // D2
+		head := q.head.Load() // D2
+		q.at(PointD2ReadHead)
 		tail := q.tail.Load()      // D3
 		next := head.next.Load()   // D4
 		if head != q.head.Load() { // D5: are head, tail, next consistent?
@@ -106,6 +124,7 @@ func (q *MS[T]) Dequeue() (T, bool) {
 		// value may be overwritten by nobody — but a *failed* CAS means the
 		// value belongs to someone else's dequeue and must be discarded.
 		v := next.value
+		q.at(PointD12BeforeSwing)
 		if q.head.CompareAndSwap(head, next) { // D12: swing Head
 			// D14 (free the old dummy) is the garbage collector's job. The
 			// new dummy retains its value until the next dequeue replaces

@@ -5,8 +5,22 @@ import (
 	"sync/atomic"
 
 	"msqueue/internal/arena"
+	"msqueue/internal/inject"
 	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
+)
+
+// Trace points exposed by the two-lock queues (both variants). They fire
+// *inside* the critical sections, so a goroutine crash-stopped there models
+// the paper's motivating pathology: a lock holder "halted or delayed at an
+// inopportune moment" stalls every process that needs the same lock.
+const (
+	// PointTLEnqCritical fires while holding the tail lock, before the node
+	// is linked.
+	PointTLEnqCritical inject.Point = "TL:enq-critical-section"
+	// PointTLDeqCritical fires while holding the head lock, before Head is
+	// examined.
+	PointTLDeqCritical inject.Point = "TL:deq-critical-section"
 )
 
 // TwoLock is the paper's two-lock queue (Figure 2): separate head and tail
@@ -29,6 +43,8 @@ type TwoLock[T any] struct {
 	_    pad.Line
 	tail *tlNode[T] // protected by tlock
 	_    pad.Line
+
+	tr inject.Tracer
 }
 
 type tlNode[T any] struct {
@@ -62,10 +78,31 @@ func (q *TwoLock[T]) SetProbe(p *metrics.Probe) {
 	}
 }
 
+// SetTracer installs a fault-injection tracer on the queue's critical
+// sections and, when the locks are themselves Traceable (the spin locks in
+// internal/locks are, the runtime mutex is not), on the locks' own pause
+// points. Call before sharing the queue.
+func (q *TwoLock[T]) SetTracer(tr inject.Tracer) {
+	q.tr = tr
+	if t, ok := q.hlock.(inject.Traceable); ok {
+		t.SetTracer(tr)
+	}
+	if t, ok := q.tlock.(inject.Traceable); ok {
+		t.SetTracer(tr)
+	}
+}
+
+func (q *TwoLock[T]) at(p inject.Point) {
+	if q.tr != nil {
+		q.tr.At(p)
+	}
+}
+
 // Enqueue appends v to the tail of the queue. Only the tail lock is taken.
 func (q *TwoLock[T]) Enqueue(v T) {
 	n := &tlNode[T]{value: v} // allocate and fill outside the critical section
 	q.tlock.Lock()
+	q.at(PointTLEnqCritical)
 	q.tail.next.Store(n) // link node at the end of the linked list
 	q.tail = n           // swing Tail to the node
 	q.tlock.Unlock()
@@ -74,6 +111,7 @@ func (q *TwoLock[T]) Enqueue(v T) {
 // Dequeue removes and returns the head value. Only the head lock is taken.
 func (q *TwoLock[T]) Dequeue() (T, bool) {
 	q.hlock.Lock()
+	q.at(PointTLDeqCritical)
 	node := q.head
 	newHead := node.next.Load()
 	if newHead == nil { // queue is empty
@@ -103,6 +141,8 @@ type TwoLockTagged struct {
 	_    pad.Line
 	tail arena.Ref // protected by tlock
 	_    pad.Line
+
+	tr inject.Tracer
 }
 
 // NewTwoLockTagged returns an empty tagged two-lock queue with room for
@@ -137,6 +177,25 @@ func (q *TwoLockTagged) SetProbe(p *metrics.Probe) {
 	}
 }
 
+// SetTracer installs a fault-injection tracer on the queue's critical
+// sections and on Traceable locks (see TwoLock.SetTracer). Call before
+// sharing the queue.
+func (q *TwoLockTagged) SetTracer(tr inject.Tracer) {
+	q.tr = tr
+	if t, ok := q.hlock.(inject.Traceable); ok {
+		t.SetTracer(tr)
+	}
+	if t, ok := q.tlock.(inject.Traceable); ok {
+		t.SetTracer(tr)
+	}
+}
+
+func (q *TwoLockTagged) at(p inject.Point) {
+	if q.tr != nil {
+		q.tr.At(p)
+	}
+}
+
 // Enqueue appends v, spinning if the arena is momentarily exhausted.
 func (q *TwoLockTagged) Enqueue(v uint64) {
 	for !q.TryEnqueue(v) {
@@ -151,6 +210,7 @@ func (q *TwoLockTagged) TryEnqueue(v uint64) bool {
 	}
 	q.a.Get(ref).Value.Store(v)
 	q.tlock.Lock()
+	q.at(PointTLEnqCritical)
 	tn := q.a.Get(q.tail)
 	old := tn.Next.Load()
 	tn.Next.Store(arena.Pack(ref.Index(), old.Count()+1)) // link at the end
@@ -162,6 +222,7 @@ func (q *TwoLockTagged) TryEnqueue(v uint64) bool {
 // Dequeue removes and returns the head value, or reports false when empty.
 func (q *TwoLockTagged) Dequeue() (uint64, bool) {
 	q.hlock.Lock()
+	q.at(PointTLDeqCritical)
 	node := q.head
 	newHead := q.a.Get(node).Next.Load()
 	if newHead.IsNil() {

@@ -2,6 +2,7 @@ package inject
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -72,6 +73,183 @@ func TestGateIsOneShot(t *testing.T) {
 	<-first
 	// After release, further arrivals fall through too.
 	g.At("x")
+}
+
+func TestGateWithTimeoutAutoReleases(t *testing.T) {
+	g := NewGateWithTimeout("x", 20*time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(done)
+	}()
+	<-g.Entered()
+	// Nobody calls Release: the stalled goroutine must be freed by the
+	// timeout, and the gate must report it.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("auto-release did not fire")
+	}
+	if !g.TimedOut() {
+		t.Fatal("TimedOut() = false after an auto-release")
+	}
+	// Release after the auto-release must be a safe no-op.
+	g.Release()
+}
+
+func TestGateWithTimeoutNormalRelease(t *testing.T) {
+	g := NewGateWithTimeout("x", time.Minute)
+	done := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(done)
+	}()
+	<-g.Entered()
+	g.Release()
+	<-done
+	if g.TimedOut() {
+		t.Fatal("TimedOut() = true after an explicit Release in time")
+	}
+	g.Release() // idempotent
+}
+
+func TestGateWithTimeoutReleaseBeforeEntry(t *testing.T) {
+	// A gate armed for a point that is never reached must be releasable
+	// from cleanup without leaking its watcher or stalling later visitors.
+	g := NewGateWithTimeout("x", time.Minute)
+	g.Release()
+	finished := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("visit blocked on a released gate")
+	}
+}
+
+func TestNthGateStallsNthVisit(t *testing.T) {
+	g := NewNthGate("x", 3)
+	var passed atomic.Int32
+	stalled := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			g.At("x")
+			passed.Add(1)
+		}
+		close(stalled)
+	}()
+	<-g.Entered()
+	if got := passed.Load(); got != 2 {
+		t.Fatalf("visits completed before the stall = %d, want 2", got)
+	}
+	select {
+	case <-stalled:
+		t.Fatal("third visit proceeded before Release")
+	case <-time.After(10 * time.Millisecond):
+	}
+	g.Release()
+	<-stalled
+
+	// Visits after the release fall through.
+	g.At("x")
+
+	// Reset re-arms: the next visit (n=1) stalls again.
+	g.Reset(1)
+	again := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(again)
+	}()
+	<-g.Entered()
+	g.Release()
+	<-again
+}
+
+func TestNthGateIgnoresOtherPoints(t *testing.T) {
+	g := NewNthGate("x", 1)
+	done := make(chan struct{})
+	go func() {
+		g.At("y")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("visit to a different point blocked")
+	}
+}
+
+func TestDelayIsSeededAndBounded(t *testing.T) {
+	// The decision sequence must be a pure function of the seed: two
+	// adversaries with the same seed driven sequentially agree draw for
+	// draw; a different seed must (for this probability) diverge.
+	decisions := func(seed int64) []bool {
+		d := NewDelay(seed, 0.5, 2)
+		out := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			before := d.state.Load()
+			d.At("p")
+			// Re-derive the draw the visit consumed.
+			x := before + 0x9e3779b97f4a7c15
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			out = append(out, x < d.threshold)
+		}
+		return out
+	}
+	a, b, c := decisions(42), decisions(42), decisions(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+
+	// Degenerate probabilities must not hang or panic.
+	NewDelay(1, 0, 4).At("p")
+	NewDelay(1, 1, 1).At("p")
+}
+
+func TestNthGateOneBehavesLikeGate(t *testing.T) {
+	g := NewNthGate("x", 1)
+	done := make(chan struct{})
+	go func() {
+		g.At("x")
+		close(done)
+	}()
+	<-g.Entered()
+	g.Release()
+	<-done
+}
+
+func TestCounterPoints(t *testing.T) {
+	var c Counter
+	c.At("b")
+	c.At("a")
+	c.At("b")
+	got := c.Points()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Points() = %v, want [a b]", got)
+	}
+	var empty Counter
+	if pts := empty.Points(); len(pts) != 0 {
+		t.Fatalf("Points() on fresh counter = %v, want empty", pts)
+	}
 }
 
 func TestCounter(t *testing.T) {

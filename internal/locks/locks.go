@@ -20,9 +20,18 @@ import (
 	"sync/atomic"
 
 	"msqueue/internal/backoff"
+	"msqueue/internal/inject"
 	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 )
+
+// PointLockAcquired is the trace point the instrumented spin locks (TAS,
+// TTAS, TTASPure) fire immediately after winning the lock. A goroutine
+// crash-stopped here halts while *holding* the lock — the paper's
+// inopportune moment for any lock-based algorithm — so the chaos engine
+// can demonstrate stall propagation without the enclosing queue's
+// cooperation.
+const PointLockAcquired inject.Point = "lock:acquired"
 
 // Locker is the mutual-exclusion contract shared by all locks in this
 // package; it is identical to sync.Locker and exists so that callers inside
@@ -79,11 +88,16 @@ type TAS struct {
 	state atomic.Int32
 	_     pad.Line
 	probe *metrics.Probe
+	tr    inject.Tracer
 }
 
 // SetProbe installs a contention probe; every failed acquisition attempt
 // reports one metrics.LockSpin. Call before sharing the lock.
 func (l *TAS) SetProbe(p *metrics.Probe) { l.probe = p }
+
+// SetTracer installs a fault-injection tracer (PointLockAcquired). Call
+// before sharing the lock.
+func (l *TAS) SetTracer(tr inject.Tracer) { l.tr = tr }
 
 // Lock acquires the lock, spinning (and eventually yielding) until free.
 func (l *TAS) Lock() {
@@ -94,6 +108,9 @@ func (l *TAS) Lock() {
 		if fails%spinYieldEvery == 0 {
 			runtime.Gosched()
 		}
+	}
+	if l.tr != nil {
+		l.tr.At(PointLockAcquired)
 	}
 }
 
@@ -110,17 +127,25 @@ type TTAS struct {
 	state atomic.Int32
 	_     pad.Line
 	probe *metrics.Probe
+	tr    inject.Tracer
 }
 
 // SetProbe installs a contention probe; every observed-held backoff episode
 // reports one metrics.LockSpin. Call before sharing the lock.
 func (l *TTAS) SetProbe(p *metrics.Probe) { l.probe = p }
 
+// SetTracer installs a fault-injection tracer (PointLockAcquired). Call
+// before sharing the lock.
+func (l *TTAS) SetTracer(tr inject.Tracer) { l.tr = tr }
+
 // Lock acquires the lock.
 func (l *TTAS) Lock() {
 	var bo backoff.Backoff
 	for {
 		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			if l.tr != nil {
+				l.tr.At(PointLockAcquired)
+			}
 			return
 		}
 		l.probe.Add(metrics.LockSpin, 1)
@@ -143,16 +168,24 @@ type TTASPure struct {
 	state atomic.Int32
 	_     pad.Line
 	probe *metrics.Probe
+	tr    inject.Tracer
 }
 
 // SetProbe installs a contention probe (see TTAS.SetProbe).
 func (l *TTASPure) SetProbe(p *metrics.Probe) { l.probe = p }
+
+// SetTracer installs a fault-injection tracer (PointLockAcquired). Call
+// before sharing the lock.
+func (l *TTASPure) SetTracer(tr inject.Tracer) { l.tr = tr }
 
 // Lock acquires the lock, spinning with backoff but never yielding.
 func (l *TTASPure) Lock() {
 	var bo backoff.Backoff
 	for {
 		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			if l.tr != nil {
+				l.tr.At(PointLockAcquired)
+			}
 			return
 		}
 		l.probe.Add(metrics.LockSpin, 1)

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"msqueue/internal/chaos"
+	"msqueue/internal/inject"
 	"msqueue/internal/linearizability"
 	"msqueue/internal/queue"
 )
@@ -43,6 +45,28 @@ func Run(t *testing.T, newQueue func(cap int) queue.Queue[int], opts Options) {
 	t.Run("ConcurrentPairs", func(t *testing.T) { testConcurrentPairs(t, build) })
 	t.Run("LinearizableHistory", func(t *testing.T) { testLinearizableHistory(t, build) })
 	t.Run("LinearizableHistoryExact", func(t *testing.T) { testLinearizableExact(t, build) })
+	t.Run("ChaosDelay", func(t *testing.T) { testChaosDelay(t, build) })
+}
+
+// testChaosDelay runs the conservation workload with the randomized delay
+// adversary stretching the queue's own pause points — the paper's process
+// "delayed at an inopportune moment", without the permanence of a
+// crash-stop. Queues that expose no pause points (the channel comparator)
+// are skipped: there is nothing to delay.
+func testChaosDelay(t *testing.T, build func() queue.Queue[int]) {
+	q := build()
+	tr, ok := q.(inject.Traceable)
+	if !ok {
+		t.Skip("queue exposes no pause points; delay adversary not applicable")
+	}
+	pairs := 200
+	if testing.Short() {
+		pairs = 60
+	}
+	tr.SetTracer(inject.NewDelay(0xC0FFEE, 0.15, 6))
+	if n, err := chaos.DelayStress(q, 3, pairs); err != nil {
+		t.Fatalf("after %d pairs under the delay adversary: %v", n, err)
+	}
 }
 
 func testEmptyDequeue(t *testing.T, build func() queue.Queue[int]) {

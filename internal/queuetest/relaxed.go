@@ -230,6 +230,9 @@ func RunRelaxed(t *testing.T, newQueue func(cap int) queue.Queue[int], opts Opti
 	t.Run("EmptyDequeue", func(t *testing.T) { testEmptyDequeue(t, build) })
 	t.Run("SingleProducerFIFO", func(t *testing.T) { testRelaxedSingleProducerFIFO(t, build) })
 	t.Run("EventualDrain", func(t *testing.T) { testRelaxedEventualDrain(t, build) })
+	// The delay-adversary conservation workload asserts nothing about
+	// ordering, so it applies to relaxed queues unchanged.
+	t.Run("ChaosDelay", func(t *testing.T) { testChaosDelay(t, build) })
 	t.Run("ConcurrentContract", func(t *testing.T) {
 		perProd := 4000
 		if testing.Short() {

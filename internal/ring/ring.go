@@ -45,9 +45,32 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"msqueue/internal/inject"
 	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 	"msqueue/internal/queue"
+)
+
+// Trace points exposed by the ring for fault-injection tests. They sit on
+// the instants SCQ's liveness argument is about: a process crash-stopped
+// between its FAA reservation and its slot CAS leaves a reserved-but-
+// unfilled (or unconsumed) slot, and the threshold/catch-up machinery is
+// what keeps everyone else live regardless. The same points fire for both
+// inner rings (the free-index ring during enqueues, the allocated-index
+// ring during dequeues).
+const (
+	// PointRingEnqSlot fires after an enqueuer's tail FAA, immediately
+	// before the CAS that claims the reserved slot.
+	PointRingEnqSlot inject.Point = "ring:enq-before-slot-cas"
+	// PointRingDeqSlot fires when a dequeuer has found its entry in place,
+	// immediately before the CAS that consumes it.
+	PointRingDeqSlot inject.Point = "ring:deq-before-slot-cas"
+	// PointRingCatchup fires before a dequeuer's tail catch-up CAS on an
+	// empty ring.
+	PointRingCatchup inject.Point = "ring:catchup-before-swing"
+	// PointRingThreshold fires on the empty path before a threshold token
+	// is spent.
+	PointRingThreshold inject.Point = "ring:threshold-spend"
 )
 
 // Slot word layout (one uint64, updated with single CAS):
@@ -147,10 +170,18 @@ func (q *indexQueue) remap(pos uint64) uint64 {
 	return i>>4 | (i&15)<<(q.order-4)
 }
 
+// at fires a pause point on a tracer that may be nil (the production
+// configuration): the hot-path cost is this nil check.
+func at(tr inject.Tracer, p inject.Point) {
+	if tr != nil {
+		tr.At(p)
+	}
+}
+
 // enqueue appends idx. It always succeeds: the ring has twice as many slots
 // as the maximum population the outer queue admits, so a claimable slot is
 // always a bounded number of reservations away.
-func (q *indexQueue) enqueue(idx int32, probe *metrics.Probe) {
+func (q *indexQueue) enqueue(idx int32, probe *metrics.Probe, tr inject.Tracer) {
 	for {
 		t := q.tail.Add(1) - 1 // reserve a position (FAA, never retries)
 		j := q.remap(t)
@@ -164,6 +195,7 @@ func (q *indexQueue) enqueue(idx int32, probe *metrics.Probe) {
 			// will find our entry.
 			if cycleLess(slotCycle(s), tc) && slotIndex(s) == nilIdx &&
 				(slotUnsafe(s) == 0 || q.head.Load() <= t) {
+				at(tr, PointRingEnqSlot)
 				if q.slots[j].CompareAndSwap(s, packSlot(tc, 0, idx)) {
 					// A successful enqueue re-arms the dequeuers' empty
 					// detector.
@@ -185,7 +217,7 @@ func (q *indexQueue) enqueue(idx int32, probe *metrics.Probe) {
 
 // dequeue removes and returns the oldest index, or reports false on an
 // empty ring.
-func (q *indexQueue) dequeue(probe *metrics.Probe) (int32, bool) {
+func (q *indexQueue) dequeue(probe *metrics.Probe, tr inject.Tracer) (int32, bool) {
 	if q.threshold.Load() < 0 {
 		return nilIdx, false // observed empty and nothing enqueued since
 	}
@@ -196,6 +228,7 @@ func (q *indexQueue) dequeue(probe *metrics.Probe) (int32, bool) {
 	again:
 		s := q.slots[j].Load()
 		if slotCycle(s) == hc && slotIndex(s) != nilIdx {
+			at(tr, PointRingDeqSlot)
 			// The entry for this position is in place: consume it by
 			// clearing the index field, keeping cycle and safety bits. (A
 			// concurrent dequeuer from a later lap may mark the slot
@@ -233,7 +266,8 @@ func (q *indexQueue) dequeue(probe *metrics.Probe) (int32, bool) {
 		// one threshold token and report empty.
 		t := q.tail.Load()
 		if t <= h+1 {
-			q.catchup(t, h+1, probe)
+			q.catchup(t, h+1, probe, tr)
+			at(tr, PointRingThreshold)
 			q.threshold.Add(-1)
 			return nilIdx, false
 		}
@@ -250,8 +284,9 @@ func (q *indexQueue) dequeue(probe *metrics.Probe) (int32, bool) {
 
 // catchup swings Tail forward to the head position that just overran it,
 // giving up as soon as some other operation has moved Tail at least as far.
-func (q *indexQueue) catchup(tail, head uint64, probe *metrics.Probe) {
+func (q *indexQueue) catchup(tail, head uint64, probe *metrics.Probe, tr inject.Tracer) {
 	for tail < head {
+		at(tr, PointRingCatchup)
 		if q.tail.CompareAndSwap(tail, head) {
 			probe.Add(metrics.RingCatchup, 1)
 			return
@@ -272,6 +307,7 @@ type Ring[T any] struct {
 	capacity int
 	data     []T
 	probe    *metrics.Probe
+	tr       inject.Tracer
 
 	fq indexQueue // free data cells, starts holding 0..capacity-1
 	aq indexQueue // allocated data cells, starts empty
@@ -306,16 +342,22 @@ func (q *Ring[T]) Cap() int { return q.capacity }
 // queue in this repository it must be called before the ring is shared.
 func (q *Ring[T]) SetProbe(p *metrics.Probe) { q.probe = p }
 
+// SetTracer installs a fault-injection tracer on the reservation/slot
+// rendezvous instants (the PointRing* sites) of both inner rings. It must
+// be called before the ring is shared; a nil tracer costs one nil check
+// per site.
+func (q *Ring[T]) SetTracer(tr inject.Tracer) { q.tr = tr }
+
 // TryEnqueue appends v and reports whether there was room.
 func (q *Ring[T]) TryEnqueue(v T) bool {
-	idx, ok := q.fq.dequeue(q.probe)
+	idx, ok := q.fq.dequeue(q.probe, q.tr)
 	if !ok {
 		return false
 	}
 	// Between fq.dequeue and aq.enqueue the cell is exclusively ours; the
 	// CAS that publishes idx into aq orders this write before any reader.
 	q.data[idx] = v
-	q.aq.enqueue(idx, q.probe)
+	q.aq.enqueue(idx, q.probe, q.tr)
 	return true
 }
 
@@ -331,7 +373,7 @@ func (q *Ring[T]) Enqueue(v T) {
 // ring is empty.
 func (q *Ring[T]) Dequeue() (T, bool) {
 	var zero T
-	idx, ok := q.aq.dequeue(q.probe)
+	idx, ok := q.aq.dequeue(q.probe, q.tr)
 	if !ok {
 		return zero, false
 	}
@@ -339,7 +381,7 @@ func (q *Ring[T]) Dequeue() (T, bool) {
 	// Clear the cell before recycling its index so the ring does not pin
 	// dead values against the garbage collector.
 	q.data[idx] = zero
-	q.fq.enqueue(idx, q.probe)
+	q.fq.enqueue(idx, q.probe, q.tr)
 	return v, true
 }
 
@@ -359,7 +401,7 @@ func (q *Ring[T]) EnqueueBatch(vs []T) int {
 		chunk := min(len(vs)-done, batchChunk)
 		k := 0
 		for k < chunk {
-			idx, ok := q.fq.dequeue(q.probe)
+			idx, ok := q.fq.dequeue(q.probe, q.tr)
 			if !ok {
 				break
 			}
@@ -368,7 +410,7 @@ func (q *Ring[T]) EnqueueBatch(vs []T) int {
 			k++
 		}
 		for i := 0; i < k; i++ {
-			q.aq.enqueue(idxs[i], q.probe)
+			q.aq.enqueue(idxs[i], q.probe, q.tr)
 		}
 		done += k
 		if k < chunk {
@@ -390,7 +432,7 @@ func (q *Ring[T]) DequeueBatch(dst []T) int {
 		chunk := min(len(dst)-done, batchChunk)
 		k := 0
 		for k < chunk {
-			idx, ok := q.aq.dequeue(q.probe)
+			idx, ok := q.aq.dequeue(q.probe, q.tr)
 			if !ok {
 				break
 			}
@@ -401,7 +443,7 @@ func (q *Ring[T]) DequeueBatch(dst []T) int {
 			idx := idxs[i]
 			dst[done+i] = q.data[idx]
 			q.data[idx] = zero
-			q.fq.enqueue(idx, q.probe)
+			q.fq.enqueue(idx, q.probe, q.tr)
 		}
 		done += k
 		if k < chunk {

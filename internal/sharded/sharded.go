@@ -30,9 +30,20 @@ import (
 
 	"msqueue/internal/backoff"
 	"msqueue/internal/core"
+	"msqueue/internal/inject"
 	"msqueue/internal/metrics"
 	"msqueue/internal/pad"
 	"msqueue/internal/queue"
+)
+
+// Trace points exposed by the sharded queue for fault-injection tests (the
+// per-shard MS queues additionally fire their own E*/D* points through a
+// forwarded tracer).
+const (
+	// PointShardedSteal fires in the victim scan, immediately before each
+	// steal probe on another shard. A consumer crash-stopped here holds
+	// nothing: the scan must not be a coordination point.
+	PointShardedSteal inject.Point = "sharded:steal-probe"
 )
 
 // Queue is a sharded, work-stealing, relaxed-FIFO MPMC queue. The zero
@@ -56,6 +67,7 @@ type Queue[T any] struct {
 	consumers sync.Pool
 
 	probe *metrics.Probe
+	tr    inject.Tracer
 }
 
 // shard is one FIFO lane plus its counters. The counters are written by
@@ -100,6 +112,17 @@ func (q *Queue[T]) SetProbe(p *metrics.Probe) {
 	q.probe = p
 	for i := range q.shards {
 		q.shards[i].q.SetProbe(p)
+	}
+}
+
+// SetTracer installs a fault-injection tracer on the steal loop and on
+// every shard's underlying MS queue, so a chaos adversary can stall a
+// victim either mid-scan or mid-operation inside a lane. Call before
+// sharing the queue.
+func (q *Queue[T]) SetTracer(tr inject.Tracer) {
+	q.tr = tr
+	for i := range q.shards {
+		q.shards[i].q.SetTracer(tr)
 	}
 }
 
@@ -201,6 +224,9 @@ func (q *Queue[T]) dequeue(c *consumerToken) (T, bool) {
 			victim := &q.shards[(start+i)%n]
 			if victim == home {
 				continue
+			}
+			if q.tr != nil {
+				q.tr.At(PointShardedSteal)
 			}
 			if v, ok := victim.q.Dequeue(); ok {
 				victim.steals.Add(1)

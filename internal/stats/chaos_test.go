@@ -1,0 +1,34 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosTable(t *testing.T) {
+	rows := []ChaosRow{
+		{Algorithm: "ms", Declared: "non-blocking", Points: 5, Completed: 5, DelayOps: 1600, Verdict: "verified"},
+		{Algorithm: "single-lock", Declared: "blocking", Points: 3, Stalled: 3, DelayOps: 1600, Verdict: "verified"},
+		{Algorithm: "channel", Declared: "blocking", Verdict: "skipped (not instrumentable)"},
+	}
+	out := ChaosTable(rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, separator, three rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"algorithm", "declared", "points", "completed", "stalled", "unreached", "delay-pairs", "verdict"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("header missing %q: %s", want, lines[0])
+		}
+	}
+	if !strings.Contains(out, "verified") || !strings.Contains(out, "skipped (not instrumentable)") {
+		t.Fatalf("verdicts missing:\n%s", out)
+	}
+	// Alignment: every data row keeps the verdict column at one offset.
+	idx := strings.Index(lines[0], "verdict")
+	for _, l := range lines[2:] {
+		if len(l) < idx {
+			t.Fatalf("row shorter than verdict column offset:\n%s", out)
+		}
+	}
+}
