@@ -30,6 +30,7 @@ import (
 
 	"msqueue/internal/algorithms"
 	"msqueue/internal/baseline"
+	"msqueue/internal/cliutil"
 	"msqueue/internal/harness"
 	"msqueue/internal/inject"
 	"msqueue/internal/stats"
@@ -58,6 +59,8 @@ func run(args []string) error {
 		metricsRep = fs.Bool("metrics", false, "run a probed pass and print a per-algorithm contention report (CAS retries, lock spins, op latency quantiles)")
 		list       = fs.Bool("list", false, "list the available algorithms and exit")
 		quiet      = fs.Bool("quiet", false, "suppress per-point progress lines")
+		netAddr    = fs.String("net", "", "benchmark a running qserve at this address instead of in-process queues")
+		dur        = fs.Duration("dur", 3*time.Second, "duration of the -net load run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +84,10 @@ func run(args []string) error {
 		return fmt.Errorf("-shards applies to figure sweeps, not to -experiment %q", *experiment)
 	case *figures != "" && *experiment != "":
 		return fmt.Errorf("-figure and -experiment are mutually exclusive; pass one")
+	case *netAddr != "" && (*figures != "" || *experiment != "" || *metricsRep || *csvPath != "" || *algosFlag != "" || *shards != 0):
+		return fmt.Errorf("-net benchmarks whatever algorithm the server at %s is running; it does not combine with -figure, -experiment, -metrics, -csv, -algos or -shards", *netAddr)
+	case *dur <= 0:
+		return fmt.Errorf("-dur must be positive, got %v", *dur)
 	case *metricsRep && *experiment != "":
 		return fmt.Errorf("-metrics runs its own probed pass and does not combine with -experiment %q", *experiment)
 	}
@@ -90,15 +97,12 @@ func run(args []string) error {
 	}
 
 	if *list {
-		for _, info := range algorithms.All() {
-			inPaper := " "
-			if info.InPaper {
-				inPaper = "*"
-			}
-			fmt.Printf("%s %-18s %-14s %s\n", inPaper, info.Name, info.Progress, info.Display)
-		}
-		fmt.Println("\n(* = measured in the paper's figures)")
+		cliutil.FprintCatalog(os.Stdout)
 		return nil
+	}
+
+	if *netAddr != "" {
+		return netBench(*netAddr, *procs, *dur, *quiet)
 	}
 
 	if *experiment != "" {
@@ -117,20 +121,9 @@ func run(args []string) error {
 		return fmt.Errorf("nothing to do: pass -figure, -experiment or -metrics")
 	}
 
-	var algos []algorithms.Info
-	switch *algosFlag {
-	case "":
-		// nil selects the paper's six contenders
-	case "all":
-		algos = algorithms.All()
-	default:
-		for _, name := range strings.Split(*algosFlag, ",") {
-			info, err := algorithms.Lookup(strings.TrimSpace(name))
-			if err != nil {
-				return err
-			}
-			algos = append(algos, info)
-		}
+	algos, err := cliutil.Select(*algosFlag)
+	if err != nil {
+		return err
 	}
 
 	if *shards > 0 {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msqueue/internal/client"
+	"msqueue/internal/metrics"
+)
+
+// netBench is the -net load generator: workers clients, each on its own
+// connection, drive enqueue/dequeue pairs against a running qserve for
+// dur, then report throughput and client-observed latency quantiles plus
+// the server's own counters. Before returning it drains the queue empty,
+// so a qserve that is SIGTERMed afterwards (the CI smoke job) finishes
+// its drain with backlog 0 instead of waiting for a consumer that never
+// comes.
+func netBench(addr string, workers int, dur time.Duration, quiet bool) error {
+	probe := metrics.NewProbe()
+	var enqs, deqs, empties atomic.Int64
+
+	deadline := time.Now().Add(dur)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errCh <- fmt.Errorf("worker %d: %w", w, err)
+				return
+			}
+			defer c.Close()
+			v := w << 24
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				if err := c.Enqueue(v); err != nil {
+					errCh <- fmt.Errorf("worker %d enqueue: %w", w, err)
+					return
+				}
+				probe.Observe(metrics.Enqueue, time.Since(start))
+				enqs.Add(1)
+				v++
+
+				start = time.Now()
+				_, ok, err := c.Dequeue()
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d dequeue: %w", w, err)
+					return
+				}
+				probe.Observe(metrics.Dequeue, time.Since(start))
+				if ok {
+					deqs.Add(1)
+				} else {
+					// Another worker won the race for the element this
+					// worker just enqueued; the residue is drained below.
+					empties.Add(1)
+				}
+			}
+			errCh <- nil
+		}(w)
+	}
+	wg.Wait()
+	elapsed := dur // workers stop on the shared deadline
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+
+	// Drain the residue (one outstanding element per empty dequeue) so the
+	// server is left with an empty queue.
+	c, err := client.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("drain connection: %w", err)
+	}
+	defer c.Close()
+	drained := 0
+	for {
+		_, ok, err := c.Dequeue()
+		if err != nil {
+			return fmt.Errorf("drain dequeue: %w", err)
+		}
+		if !ok {
+			break
+		}
+		drained++
+		deqs.Add(1)
+	}
+
+	ops := enqs.Load() + deqs.Load()
+	if ops == 0 {
+		return fmt.Errorf("no operation completed against %s in %v", addr, dur)
+	}
+	if enqs.Load() != deqs.Load() {
+		return fmt.Errorf("conservation failure: %d enqueues vs %d dequeues after drain", enqs.Load(), deqs.Load())
+	}
+
+	fmt.Printf("net benchmark: %s, %d workers, %v\n", addr, workers, dur)
+	fmt.Printf("  %d enqueues, %d dequeues (%d empty polls, %d drained after the deadline)\n",
+		enqs.Load(), deqs.Load(), empties.Load(), drained)
+	fmt.Printf("  throughput: %.0f ops/s\n", float64(ops)/elapsed.Seconds())
+	snap := probe.Snapshot()
+	for op := 0; op < metrics.NumOps; op++ {
+		l := snap.Latency[op]
+		if l.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %s round-trip: p50=%v p90=%v p99=%v max<=%v\n",
+			metrics.Op(op), l.Quantile(0.50), l.Quantile(0.90), l.Quantile(0.99), l.Quantile(1))
+	}
+	if !quiet {
+		counters, err := c.Stats()
+		if err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+		fmt.Printf("  server: enqueued=%d dequeued=%d empties=%d retries=%d conns=%d\n",
+			counters.Enqueued, counters.Dequeued, counters.Empties, counters.Retries, counters.Conns)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"msqueue/internal/core"
+	"msqueue/internal/server"
+)
+
+func startQserve(t *testing.T) string {
+	t.Helper()
+	s := server.New(server.Config{Queue: core.NewMS[int]()})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return l.Addr().String()
+}
+
+// TestNetBench runs the load generator against an in-process server; the
+// generator itself asserts conservation and nonzero throughput.
+func TestNetBench(t *testing.T) {
+	addr := startQserve(t)
+	if err := netBench(addr, 2, 150*time.Millisecond, false); err != nil {
+		t.Fatalf("netBench: %v", err)
+	}
+}
+
+func TestNetBenchViaRun(t *testing.T) {
+	addr := startQserve(t)
+	if err := run([]string{"-net", addr, "-procs", "2", "-dur", "100ms", "-quiet"}); err != nil {
+		t.Fatalf("run -net: %v", err)
+	}
+}
+
+func TestNetFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-net", "127.0.0.1:1", "-figure", "3"},
+		{"-net", "127.0.0.1:1", "-experiment", "contention"},
+		{"-net", "127.0.0.1:1", "-metrics"},
+		{"-net", "127.0.0.1:1", "-algos", "ms"},
+		{"-net", "127.0.0.1:1", "-csv", "x.csv"},
+		{"-net", "127.0.0.1:1", "-shards", "2"},
+		{"-net", "127.0.0.1:1", "-dur", "0s"},
+	} {
+		err := run(args)
+		if err == nil {
+			t.Errorf("run(%v) accepted conflicting flags", args)
+			continue
+		}
+		if strings.Contains(err.Error(), "connect") {
+			t.Errorf("run(%v) tried to dial before validating flags: %v", args, err)
+		}
+	}
+}

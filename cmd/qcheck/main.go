@@ -33,6 +33,7 @@ import (
 
 	"msqueue/internal/algorithms"
 	"msqueue/internal/chaos"
+	"msqueue/internal/cliutil"
 	"msqueue/internal/linearizability"
 	"msqueue/internal/queuetest"
 	"msqueue/internal/stats"
@@ -50,7 +51,7 @@ func main() {
 func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("qcheck", flag.ContinueOnError)
 	var (
-		algo      = fs.String("algo", "ms", `algorithm to check, or "all"`)
+		algo      = fs.String("algo", "ms", `algorithm(s) to check: a name, a comma list, "paper", or "all"`)
 		procs     = fs.Int("procs", 6, "concurrent processes")
 		iters     = fs.Int("iters", 3000, "iterations per process")
 		rounds    = fs.Int("rounds", 3, "independent stress rounds")
@@ -77,15 +78,9 @@ func run(args []string) (int, error) {
 		return 1, fmt.Errorf("-cap must be >= 1, got %d", *capacity)
 	}
 
-	var infos []algorithms.Info
-	if *algo == "all" {
-		infos = algorithms.All()
-	} else {
-		info, err := algorithms.Lookup(*algo)
-		if err != nil {
-			return 1, err
-		}
-		infos = []algorithms.Info{info}
+	infos, err := cliutil.Select(*algo)
+	if err != nil {
+		return 1, err
 	}
 
 	if *chaosMode {

@@ -1,0 +1,149 @@
+// Command qserve exposes any catalog queue over the wire protocol in
+// internal/wire, turning the in-process algorithms into a small network
+// queue service. The paper ends at the process boundary; qserve is this
+// reproduction's "beyond the paper" layer (DESIGN.md section 12): the
+// serving semantics — backpressure instead of unbounded buffering,
+// graceful drain that never drops an acknowledged enqueue — are the same
+// properties the in-process algorithms guarantee, restated for clients on
+// the far side of a socket.
+//
+// Usage examples:
+//
+//	qserve                                   # MS queue on 127.0.0.1:7411
+//	qserve -algo ring -cap 1024              # bounded: full yields RETRY
+//	qserve -algo two-lock -maxconns 64
+//	qserve -metrics                          # contention + wire report on shutdown
+//	qserve -list                             # the servable catalog
+//
+// On SIGINT/SIGTERM the server drains: new enqueues are refused with
+// RETRY(draining), every already-acknowledged element is delivered to a
+// dequeuer (bounded by -drain), and with -metrics a contention report is
+// printed before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"msqueue/internal/cliutil"
+	"msqueue/internal/metrics"
+	"msqueue/internal/server"
+)
+
+func main() {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sigCh, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "qserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main without the process-global parts: the signal channel and
+// the ready hook are injected so tests can drive a full serve/drain cycle
+// in-process.
+func run(args []string, stdout io.Writer, sigCh <-chan os.Signal, onReady func(net.Addr)) error {
+	fs := flag.NewFlagSet("qserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7411", "listen address (port 0 picks an ephemeral port)")
+		algo       = fs.String("algo", "ms", "catalog algorithm to serve; see -list")
+		capacity   = fs.Int("cap", 0, "capacity for bounded algorithms (0 = implementation default; full queues send RETRY)")
+		maxConns   = fs.Int("maxconns", 0, "connection limit (0 = unlimited); over-limit dials are refused with ERR")
+		retryHint  = fs.Duration("hint", server.DefaultRetryHint, "base backoff hint carried in RETRY frames")
+		drainTime  = fs.Duration("drain", 10*time.Second, "drain deadline on shutdown; backlog still undelivered after this is reported lost")
+		metricsRep = fs.Bool("metrics", false, "serve with a contention probe and print the report on shutdown")
+		list       = fs.Bool("list", false, "list the servable algorithms and exit")
+		quiet      = fs.Bool("quiet", false, "suppress per-connection log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		cliutil.FprintCatalog(stdout)
+		return nil
+	}
+	switch {
+	case *capacity < 0:
+		return fmt.Errorf("-cap must be >= 0, got %d", *capacity)
+	case *maxConns < 0:
+		return fmt.Errorf("-maxconns must be >= 0, got %d", *maxConns)
+	case *retryHint <= 0:
+		return fmt.Errorf("-hint must be positive, got %v", *retryHint)
+	case *drainTime <= 0:
+		return fmt.Errorf("-drain must be positive, got %v", *drainTime)
+	}
+
+	info, err := cliutil.SelectOne(*algo)
+	if err != nil {
+		return err
+	}
+	q := info.New(*capacity)
+
+	// One probe observes both layers: the queue's own contention sites
+	// (CAS retries, lock spins) and the server's wire-path sites.
+	var probe *metrics.Probe
+	if *metricsRep {
+		probe = metrics.NewProbe()
+		if inst, ok := q.(metrics.Instrumented); ok {
+			inst.SetProbe(probe)
+		}
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stdout, "qserve: "+format+"\n", a...)
+	}
+	s := server.New(server.Config{
+		Queue:     q,
+		MaxConns:  *maxConns,
+		RetryHint: *retryHint,
+		Probe:     probe,
+		Logf: func(format string, a ...any) {
+			if !*quiet {
+				logf(format, a...)
+			}
+		},
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logf("serving %s (%s, %s) on %s", info.Name, info.Display, info.Progress, l.Addr())
+	if onReady != nil {
+		onReady(l.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	select {
+	case sig := <-sigCh:
+		logf("%v: draining (deadline %v)", sig, *drainTime)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+
+	c := s.Counters()
+	logf("drained: enqueued=%d dequeued=%d backlog=%d retries=%d lost=%d",
+		c.Enqueued, c.Dequeued, c.Backlog(), c.Retries, s.Lost())
+	if probe != nil {
+		snap := probe.Snapshot()
+		fmt.Fprintf(stdout, "\n%s (%s):\n%s", info.Display, info.Name,
+			snap.Report(int64(c.Enqueued+c.Dequeued)))
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w (undelivered backlog %d)", drainErr, s.Backlog())
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Netqueue: the queue service end to end, in one process.
+//
+// The paper's algorithms live inside a single address space; qserve
+// (cmd/qserve) puts one of them behind a socket. This example wires the
+// same three layers — internal/server hosting a bounded ring, loopback
+// TCP, and internal/client — and walks the serving semantics:
+//
+//  1. producers push through RETRY backpressure when the 64-slot ring
+//     fills (the client retries with the server's backoff hint; its Dials
+//     count stays at 1, because backpressure is not a connection failure);
+//  2. a mid-run drain refuses further enqueues with ErrDraining while the
+//     consumers keep dequeuing, so every acknowledged element is delivered
+//     before the server exits;
+//  3. the final conservation check: acked == consumed, nothing lost,
+//     nothing duplicated.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"msqueue/internal/client"
+	"msqueue/internal/ring"
+	"msqueue/internal/server"
+)
+
+const (
+	producers   = 3
+	consumers   = 2
+	perProducer = 5_000
+	ringSlots   = 64
+)
+
+func main() {
+	srv := server.New(server.Config{
+		Queue:     ring.New[int](ringSlots),
+		RetryHint: 100 * time.Microsecond,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(l)
+	addr := l.Addr().String()
+	fmt.Printf("serving a %d-slot ring on %s\n", ringSlots, addr)
+
+	var (
+		mu       sync.Mutex
+		acked    = make(map[int]bool)
+		consumed = make(map[int]int)
+	)
+
+	// Producers: Enqueue blocks through RETRY(full) and returns
+	// ErrDraining once the drain cut-over reaches it.
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				panic(err)
+			}
+			defer c.Close()
+			for i := 0; i < perProducer; i++ {
+				v := p*1_000_000 + i
+				if err := c.Enqueue(v); err != nil {
+					// Either RETRY(draining) reached us, or the drained
+					// server already closed the connection under a request
+					// whose ack we never read — at-least-once means an
+					// errored enqueue may NOT be counted as acked.
+					if errors.Is(err, client.ErrDraining) {
+						fmt.Printf("producer %d stopped by drain after %d enqueues (dials=%d)\n", p, i, c.Dials())
+					} else {
+						fmt.Printf("producer %d stopped by server shutdown after %d enqueues\n", p, i)
+					}
+					return
+				}
+				mu.Lock()
+				acked[v] = true
+				mu.Unlock()
+			}
+			fmt.Printf("producer %d finished all %d enqueues (dials=%d)\n", p, perProducer, c.Dials())
+		}(p)
+	}
+
+	// Consumers: dequeue until the drained server closes the connection.
+	var consWG sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				panic(err)
+			}
+			defer c.Close()
+			for {
+				v, ok, err := c.Dequeue()
+				if err != nil {
+					return // connection closed: the drain completed
+				}
+				if !ok {
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				mu.Lock()
+				consumed[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Let traffic build, then drain mid-flight.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		panic(fmt.Sprintf("drain: %v (backlog %d)", err, srv.Backlog()))
+	}
+	prodWG.Wait()
+	consWG.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	lost, dup := 0, 0
+	for v := range acked {
+		if consumed[v] == 0 {
+			lost++
+		}
+	}
+	for _, n := range consumed {
+		if n > 1 {
+			dup++
+		}
+	}
+	c := srv.Counters()
+	fmt.Printf("drained: server enqueued=%d dequeued=%d retries(backpressure)=%d\n",
+		c.Enqueued, c.Dequeued, c.Retries)
+	fmt.Printf("conservation: acked=%d consumed=%d lost=%d duplicated=%d\n",
+		len(acked), len(consumed), lost, dup)
+	if lost != 0 || dup != 0 || srv.Lost() != 0 {
+		panic("conservation violated")
+	}
+	fmt.Println("every acknowledged enqueue was delivered exactly once")
+}

@@ -1,0 +1,99 @@
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+const (
+	// DefaultMinSleep is a Sleeper's initial upper bound after the first
+	// failure.
+	DefaultMinSleep = 200 * time.Microsecond
+	// DefaultMaxSleep bounds a Sleeper's exponential growth.
+	DefaultMaxSleep = 100 * time.Millisecond
+)
+
+// Sleeper is the duration-domain analogue of Backoff for paths that wait
+// on something remote — a queue server that answered RETRY, a connection
+// being re-dialled — where busy-spinning would burn the very CPU the
+// remote end needs. Each consecutive failure doubles a bound (up to Max)
+// and the actual sleep is drawn uniformly from [bound/2, bound), so
+// refused clients de-correlate instead of hammering the server in
+// lockstep — the same randomized-doubling discipline Backoff applies to
+// spins, in wall-clock time.
+//
+// The zero value is ready to use with the default bounds. Like Backoff, a
+// Sleeper is not safe for concurrent use; keep one per goroutine (the
+// client keeps one per logical operation retry loop).
+type Sleeper struct {
+	// Min and Max override DefaultMinSleep/DefaultMaxSleep when nonzero.
+	Min, Max time.Duration
+
+	limit    time.Duration
+	failures int
+	rng      uint64 // xorshift state; lazily seeded, shared discipline with Backoff
+}
+
+// Next records one more failure and returns the jittered duration to wait
+// before retrying. hint, when positive, raises the first interval's floor:
+// a server that answered RETRY with a backoff hint knows its drain rate
+// better than the client's defaults do. Callers sleep themselves
+// (time.Sleep(s.Next(hint))), so tests can observe the schedule without
+// waiting it out.
+func (s *Sleeper) Next(hint time.Duration) time.Duration {
+	if s.rng == 0 {
+		s.rng = rand.Uint64() | 1
+	}
+	if s.limit == 0 {
+		s.limit = s.min()
+		if hint > s.limit {
+			s.limit = hint
+		}
+	}
+	d := s.limit/2 + time.Duration(s.next()%uint64(s.limit/2+1))
+	if max := s.max(); s.limit < max {
+		s.limit *= 2
+		if s.limit > max {
+			s.limit = max
+		}
+	}
+	s.failures++
+	return d
+}
+
+// Reset clears the failure history after a success, restoring the initial
+// interval. The generator state survives, as in Backoff.Reset.
+func (s *Sleeper) Reset() {
+	s.limit = 0
+	s.failures = 0
+}
+
+// Failures reports the consecutive failures since the last Reset.
+func (s *Sleeper) Failures() int { return s.failures }
+
+func (s *Sleeper) min() time.Duration {
+	if s.Min > 0 {
+		return s.Min
+	}
+	return DefaultMinSleep
+}
+
+func (s *Sleeper) max() time.Duration {
+	m := DefaultMaxSleep
+	if s.Max > 0 {
+		m = s.Max
+	}
+	if min := s.min(); m < min {
+		m = min
+	}
+	return m
+}
+
+func (s *Sleeper) next() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
+}

@@ -1,0 +1,76 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleeperSchedule checks the doubling-with-jitter shape: every
+// interval lies in [bound/2, bound], bounds double up to Max, and the
+// schedule restarts after Reset.
+func TestSleeperSchedule(t *testing.T) {
+	s := &Sleeper{Min: time.Millisecond, Max: 8 * time.Millisecond}
+	wantBounds := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // clamped at Max
+	}
+	for round := 0; round < 2; round++ {
+		for i, bound := range wantBounds {
+			d := s.Next(0)
+			if d < bound/2 || d > bound {
+				t.Fatalf("round %d interval %d = %v, want within [%v, %v]", round, i, d, bound/2, bound)
+			}
+			if got := s.Failures(); got != i+1 {
+				t.Fatalf("Failures after %d calls = %d", i+1, got)
+			}
+		}
+		s.Reset()
+		if s.Failures() != 0 {
+			t.Fatal("Reset did not clear failures")
+		}
+	}
+}
+
+// TestSleeperHint: a server hint above Min raises the first interval's
+// bound, so a client honors the server's knowledge of its own drain rate.
+func TestSleeperHint(t *testing.T) {
+	s := &Sleeper{Min: time.Millisecond, Max: time.Second}
+	hint := 50 * time.Millisecond
+	d := s.Next(hint)
+	if d < hint/2 || d > hint {
+		t.Fatalf("first interval with hint %v = %v, want within [%v, %v]", hint, d, hint/2, hint)
+	}
+
+	// A hint below the current bound must not shrink the schedule.
+	s.Reset()
+	s.Next(0)
+	if d := s.Next(time.Nanosecond); d < time.Millisecond {
+		t.Fatalf("interval after tiny hint = %v, want >= doubled Min bound's half", d)
+	}
+}
+
+// TestSleeperJitters: consecutive same-bound draws should not all
+// coincide (the whole point of the jitter). With Max=Min the bound is
+// pinned, so any variation comes from the jitter alone.
+func TestSleeperJitters(t *testing.T) {
+	s := &Sleeper{Min: time.Millisecond, Max: time.Millisecond}
+	first := s.Next(0)
+	for i := 0; i < 64; i++ {
+		if s.Next(0) != first {
+			return
+		}
+	}
+	t.Fatalf("64 consecutive intervals all equal %v; jitter is not jittering", first)
+}
+
+// TestSleeperDefaults: the zero value uses the package defaults.
+func TestSleeperDefaults(t *testing.T) {
+	var s Sleeper
+	d := s.Next(0)
+	if d < DefaultMinSleep/2 || d > DefaultMinSleep {
+		t.Fatalf("zero-value first interval = %v, want within [%v, %v]", d, DefaultMinSleep/2, DefaultMinSleep)
+	}
+}

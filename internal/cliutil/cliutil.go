@@ -1,0 +1,64 @@
+// Package cliutil holds the catalog-selection and listing code shared by
+// the command-line tools (qbench, qcheck, qserve), so a new algorithm or
+// a changed spelling of the selection spec lands in every tool at once.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"msqueue/internal/algorithms"
+)
+
+// Select resolves an -algos/-algo style spec to catalog entries.
+//
+//	""        the paper's six contenders (the default everywhere)
+//	"paper"   same, spelled out
+//	"all"     every catalog entry, ablations and relaxed queues included
+//	"a,b,c"   a comma-separated subset, in the order given
+//
+// Unknown names return the Lookup error, which lists what exists.
+func Select(spec string) ([]algorithms.Info, error) {
+	switch strings.TrimSpace(spec) {
+	case "", "paper":
+		return algorithms.Paper(), nil
+	case "all":
+		return algorithms.All(), nil
+	}
+	var infos []algorithms.Info
+	for _, name := range strings.Split(spec, ",") {
+		info, err := algorithms.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// SelectOne resolves a spec that must name exactly one algorithm
+// (qserve's -algo: a server hosts one queue).
+func SelectOne(spec string) (algorithms.Info, error) {
+	infos, err := Select(spec)
+	if err != nil {
+		return algorithms.Info{}, err
+	}
+	if len(infos) != 1 {
+		return algorithms.Info{}, fmt.Errorf("%q selects %d algorithms; name exactly one (see -list)", spec, len(infos))
+	}
+	return infos[0], nil
+}
+
+// FprintCatalog writes the -list table: one line per catalog entry, a
+// star marking the algorithms measured in the paper's figures.
+func FprintCatalog(w io.Writer) {
+	for _, info := range algorithms.All() {
+		inPaper := " "
+		if info.InPaper {
+			inPaper = "*"
+		}
+		fmt.Fprintf(w, "%s %-18s %-14s %s\n", inPaper, info.Name, info.Progress, info.Display)
+	}
+	fmt.Fprintln(w, "\n(* = measured in the paper's figures)")
+}

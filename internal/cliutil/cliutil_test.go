@@ -1,0 +1,70 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"msqueue/internal/algorithms"
+)
+
+func TestSelect(t *testing.T) {
+	for _, spec := range []string{"", "paper", " paper "} {
+		infos, err := Select(spec)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", spec, err)
+		}
+		if len(infos) != len(algorithms.Paper()) {
+			t.Fatalf("Select(%q) = %d entries, want the paper's %d", spec, len(infos), len(algorithms.Paper()))
+		}
+	}
+
+	all, err := Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(algorithms.All()) {
+		t.Fatalf("Select(all) = %d entries, want %d", len(all), len(algorithms.All()))
+	}
+
+	subset, err := Select("ms, two-lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 || subset[0].Name != "ms" || subset[1].Name != "two-lock" {
+		t.Fatalf("Select preserves order and trims spaces; got %+v", subset)
+	}
+
+	if _, err := Select("no-such-queue"); err == nil {
+		t.Fatal("Select accepted an unknown algorithm")
+	}
+}
+
+func TestSelectOne(t *testing.T) {
+	info, err := SelectOne("ms")
+	if err != nil || info.Name != "ms" {
+		t.Fatalf("SelectOne(ms) = %+v, %v", info, err)
+	}
+	if _, err := SelectOne("all"); err == nil {
+		t.Fatal("SelectOne accepted a multi-algorithm spec")
+	}
+	if _, err := SelectOne("ms,two-lock"); err == nil {
+		t.Fatal("SelectOne accepted a two-algorithm spec")
+	}
+	if _, err := SelectOne("bogus"); err == nil {
+		t.Fatal("SelectOne accepted an unknown name")
+	}
+}
+
+func TestFprintCatalog(t *testing.T) {
+	var sb strings.Builder
+	FprintCatalog(&sb)
+	out := sb.String()
+	for _, info := range algorithms.All() {
+		if !strings.Contains(out, info.Name) {
+			t.Errorf("catalog listing omits %q", info.Name)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("catalog listing has no paper-contender markers")
+	}
+}

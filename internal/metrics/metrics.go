@@ -91,9 +91,25 @@ const (
 	StealHit
 	// StealMiss counts steal probes that found the victim shard empty.
 	StealMiss
+	// WireEnq counts elements acknowledged over the network (internal/
+	// server): ENQ frames plus accepted ENQ_BATCH elements.
+	WireEnq
+	// WireDeq counts elements delivered over the network: VALUE frames
+	// plus VALUES elements.
+	WireDeq
+	// WireEmpty counts EMPTY responses — dequeue frames that observed an
+	// empty queue.
+	WireEmpty
+	// WireRetry counts RETRY responses: enqueues refused because the
+	// bounded backing queue was full or the server was draining. A high
+	// rate here is backpressure working — the queue's capacity bound being
+	// enforced against the network instead of memory growth.
+	WireRetry
+	// WireControl counts control-plane frames served (STATS and PING).
+	WireControl
 
 	// NumSites is the number of instrumented sites.
-	NumSites = int(StealMiss) + 1
+	NumSites = int(WireControl) + 1
 )
 
 // String returns the report label of the site.
@@ -125,6 +141,16 @@ func (s Site) String() string {
 		return "steal hit"
 	case StealMiss:
 		return "steal miss"
+	case WireEnq:
+		return "wire enq elements acked"
+	case WireDeq:
+		return "wire deq elements delivered"
+	case WireEmpty:
+		return "wire deq found empty"
+	case WireRetry:
+		return "wire RETRY sent (backpressure)"
+	case WireControl:
+		return "wire control frames (STATS/PING)"
 	default:
 		return fmt.Sprintf("Site(%d)", uint8(s))
 	}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"msqueue/internal/core"
+	"msqueue/internal/ring"
+	"msqueue/internal/wire"
+)
+
+// The drain conservation property, stated as set relations over one run
+// with producers and consumers concurrent to the drain cut-over:
+//
+//	acked    ⊆ consumed        no acknowledged enqueue is lost
+//	consumed ⊆ attempted       nothing is fabricated
+//	consumed has no duplicates
+//
+// acked may be a proper subset of attempted ∩ consumed: an element
+// applied just before the cut-over whose ACK the producer never read is
+// delivered but not recorded as acked — at-least-once, never at-less.
+
+// drainHarness runs producers and consumers against s over conns from
+// dial, starts a drain mid-traffic, and checks the relations above.
+func drainHarness(t *testing.T, s *Server, dial func() net.Conn, producers, consumers, perProducer int) {
+	t.Helper()
+
+	var (
+		mu        sync.Mutex
+		attempted = make(map[int64]bool)
+		acked     = make(map[int64]bool)
+		consumed  = make(map[int64]int)
+	)
+
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			conn := dial()
+			defer conn.Close()
+			c := &rawConn{t: t, conn: conn}
+			for i := 0; i < perProducer; i++ {
+				v := int64(p*1_000_000 + i)
+				mu.Lock()
+				attempted[v] = true
+				mu.Unlock()
+				resp, err := c.enq(v)
+				if err != nil {
+					return // connection torn down by the drain
+				}
+				switch resp.Type {
+				case wire.Ack:
+					mu.Lock()
+					acked[v] = true
+					mu.Unlock()
+				case wire.Retry:
+					reason, _, err := wire.DecodeRetry(resp.Payload)
+					if err != nil {
+						t.Errorf("producer %d: bad retry payload: %v", p, err)
+						return
+					}
+					if reason == wire.RetryDraining {
+						return // the cut-over reached us; stop producing
+					}
+					time.Sleep(200 * time.Microsecond) // full: retry the same value
+					i--
+				default:
+					t.Errorf("producer %d: unexpected response %v", p, resp.Type)
+					return
+				}
+			}
+		}(p)
+	}
+
+	var consWG sync.WaitGroup
+	for cIdx := 0; cIdx < consumers; cIdx++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			conn := dial()
+			defer conn.Close()
+			c := &rawConn{t: t, conn: conn}
+			for {
+				resp, err := c.deq()
+				if err != nil {
+					return // server closed us: drain complete
+				}
+				switch resp.Type {
+				case wire.Value:
+					v, err := wire.DecodeValue(resp.Payload)
+					if err != nil {
+						t.Errorf("consumer: bad value payload: %v", err)
+						return
+					}
+					mu.Lock()
+					consumed[v]++
+					mu.Unlock()
+				case wire.Empty:
+					time.Sleep(100 * time.Microsecond)
+				default:
+					t.Errorf("consumer: unexpected response %v", resp.Type)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let real traffic build up, then drain mid-flight.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain = %v, want nil (consumers were connected)", err)
+	}
+	prodWG.Wait()
+	consWG.Wait()
+
+	if lost := s.Lost(); lost != 0 {
+		t.Fatalf("server dropped %d undeliverable values in an orderly drain", lost)
+	}
+	if got := s.Backlog(); got != 0 {
+		t.Fatalf("backlog after drain = %d, want 0", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for v := range acked {
+		if consumed[v] == 0 {
+			t.Errorf("acked value %d never delivered: acknowledged enqueue lost across drain", v)
+		}
+	}
+	for v, n := range consumed {
+		if !attempted[v] {
+			t.Errorf("consumed value %d was never enqueued", v)
+		}
+		if n > 1 {
+			t.Errorf("value %d delivered %d times", v, n)
+		}
+	}
+	if len(acked) == 0 {
+		t.Fatal("no enqueue was acknowledged; the run measured nothing")
+	}
+	t.Logf("attempted=%d acked=%d consumed=%d", len(attempted), len(acked), len(consumed))
+}
+
+// TestDrainConservationTCP drives the harness over real loopback TCP
+// with the unbounded MS queue.
+func TestDrainConservationTCP(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int]()})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	addr := l.Addr().String()
+	dial := func() net.Conn {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return conn
+	}
+	per := 20_000
+	if testing.Short() {
+		per = 2_000
+	}
+	drainHarness(t, s, dial, 3, 3, per)
+}
+
+// TestDrainConservationPipe drives the harness over in-process net.Pipe
+// connections (no kernel sockets, tighter interleavings) with the
+// bounded ring, so RETRY(full) and RETRY(draining) both occur in one run.
+func TestDrainConservationPipe(t *testing.T) {
+	s := New(Config{Queue: ring.New[int](64), RetryHint: 50 * time.Microsecond})
+	dial := func() net.Conn {
+		client, srv := net.Pipe()
+		go s.ServeConn(srv)
+		return client
+	}
+	// Large enough that the drain cut-over lands mid-production and some
+	// producers are stopped by RETRY(draining) rather than finishing.
+	per := 20_000
+	if testing.Short() {
+		per = 2_000
+	}
+	drainHarness(t, s, dial, 3, 3, per)
+}

@@ -1,0 +1,609 @@
+// Package server exposes any catalog queue over the wire protocol of
+// internal/wire: the first place the algorithms' progress and boundedness
+// guarantees are load-bearing for an external interface instead of a
+// harness.
+//
+// # Connection model
+//
+// Each accepted connection gets a reader goroutine (parses frames and
+// applies them to the queue in arrival order — per-connection FIFO, the
+// property the queue itself is about) and a writer goroutine (drains a
+// response channel into a buffered writer, flushing only when the channel
+// runs dry, so a pipelining client's responses are amortized into few
+// syscalls). The response channel's capacity is the server-side pipelining
+// window: a client that floods requests without reading responses
+// eventually blocks its own reader, not the server.
+//
+// # Backpressure
+//
+// When the backing queue implements queue.Bounded, a full queue turns an
+// enqueue into a RETRY frame carrying a backoff hint — the connection
+// between the paper-world capacity bound and the network: an unbounded
+// stream of producers cannot grow server memory, they get pushed back.
+// The hint doubles with a connection's consecutive refusals so persistent
+// producers are told to slow down harder. Unbounded queues (the GC-based
+// MS queue and friends) always accept, as their contract says.
+//
+// # Graceful drain
+//
+// Drain refuses new work (RETRY with reason "draining") but keeps serving
+// dequeues until every *acknowledged* enqueue has been delivered to some
+// consumer, then closes. The acked-minus-delivered backlog counter is
+// exact because the drain flag is set under the same lock the enqueue
+// paths hold, so no enqueue straddles the cut-over: after Drain returns,
+// either the element was refused, or it was acked and has been delivered.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msqueue/internal/metrics"
+	"msqueue/internal/queue"
+	"msqueue/internal/wire"
+)
+
+const (
+	// DefaultRetryHint is the base backoff hint sent in RETRY frames.
+	DefaultRetryHint = time.Millisecond
+	// outboundWindow is the per-connection response channel capacity: the
+	// number of responses a reader may compute ahead of the writer before
+	// it blocks (the server-side pipelining bound).
+	outboundWindow = 256
+	// maxHintShift caps the per-connection hint escalation at base<<6.
+	maxHintShift = 6
+)
+
+// Config parameterizes a Server. Queue is required; everything else has a
+// usable zero value.
+type Config struct {
+	// Queue is the backing queue. If it also implements queue.Bounded its
+	// TryEnqueue drives the RETRY backpressure path; if it implements
+	// queue.Batcher the batch frames use the amortized operations.
+	Queue queue.Queue[int]
+	// MaxConns limits concurrently served connections; further accepts
+	// are answered with an ERR frame and closed. 0 means no limit.
+	MaxConns int
+	// RetryHint is the base backoff hint for RETRY frames (default
+	// DefaultRetryHint). A connection's consecutive refusals double it,
+	// up to RetryHint<<6.
+	RetryHint time.Duration
+	// Probe, when non-nil, records an event on every frame path (the
+	// metrics.Wire* sites) and the server-observed enqueue/dequeue
+	// latencies.
+	Probe *metrics.Probe
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one queue to any number of connections. Create with New.
+type Server struct {
+	cfg     Config
+	bounded queue.Bounded[int]
+	batcher queue.Batcher[int]
+
+	// opMu serialises enqueue application against the drain cut-over:
+	// readers (enqueue paths) hold it shared, Drain takes it exclusively
+	// for the instant it sets draining. This is what makes the backlog
+	// monotonically non-increasing after Drain returns control.
+	opMu     sync.RWMutex
+	draining atomic.Bool
+
+	// backlog = acknowledged elements - delivered elements. Zero while
+	// draining means every acked enqueue has been flushed to a consumer.
+	backlog atomic.Int64
+
+	enqueued atomic.Uint64
+	dequeued atomic.Uint64
+	empties  atomic.Uint64
+	retries  atomic.Uint64
+	lost     atomic.Uint64
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	listeners map[net.Listener]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// New returns a Server for cfg. It panics if cfg.Queue is nil — a server
+// without a queue is a programming error, not a runtime condition.
+func New(cfg Config) *Server {
+	if cfg.Queue == nil {
+		panic("server: Config.Queue is required")
+	}
+	if cfg.RetryHint <= 0 {
+		cfg.RetryHint = DefaultRetryHint
+	}
+	s := &Server{
+		cfg:       cfg,
+		conns:     make(map[net.Conn]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+	s.bounded, _ = cfg.Queue.(queue.Bounded[int])
+	s.batcher, _ = cfg.Queue.(queue.Batcher[int])
+	return s
+}
+
+// ErrServerClosed is returned by Serve after Close or a completed Drain.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on l until the listener fails or the server
+// closes. It blocks; run it in a goroutine if the caller has other work.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || s.draining.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if !s.admit(conn) {
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// admit registers conn against the connection limit, refusing it with an
+// ERR frame when the server is full or closed.
+func (s *Server) admit(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed || (s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns) {
+		closed := s.closed
+		s.mu.Unlock()
+		msg := "connection limit reached"
+		if closed {
+			msg = "server closed"
+		}
+		wire.Write(conn, wire.ErrFrame(0, msg)) // best effort; the refusal is the close
+		conn.Close()
+		s.logf("refused connection from %v: %s", conn.RemoteAddr(), msg)
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	return true
+}
+
+// ServeConn serves one already-established connection until it closes,
+// then returns. It is exported so tests can drive the server over
+// net.Pipe without a listener; Serve calls it for accepted connections.
+// Connections handed directly to ServeConn also count against MaxConns.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; !ok {
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	out := make(chan outMsg, outboundWindow)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeLoop(conn, out)
+	}()
+	defer writerWG.Wait()
+	defer close(out)
+
+	c := &connState{}
+	var buf []byte
+	for {
+		f, newBuf, err := wire.Read(conn, buf)
+		if err != nil {
+			return // clean close, torn frame or our own teardown: stop reading either way
+		}
+		buf = newBuf
+		resp, fatal := s.handle(c, f)
+		out <- resp
+		if fatal {
+			return
+		}
+	}
+}
+
+// outMsg is one response in flight to the writer. deqVals carries the
+// values the frame delivers: the backlog they represent is settled only
+// after the frame is flushed to the connection, and a write failure puts
+// them back in the queue — a dequeue the consumer never received must not
+// count as delivered, or a graceful drain would declare victory while
+// dropping acknowledged elements on the floor.
+type outMsg struct {
+	frame   wire.Frame
+	deqVals []int64
+}
+
+// connState is per-connection bookkeeping owned by the reader goroutine.
+type connState struct {
+	// fulls counts consecutive refused enqueues, escalating the hint.
+	fulls int
+}
+
+// handle applies one request frame and returns the response plus whether
+// the connection must close after sending it (protocol errors).
+func (s *Server) handle(c *connState, f wire.Frame) (outMsg, bool) {
+	switch f.Type {
+	case wire.Enq:
+		v, err := wire.DecodeValue(f.Payload)
+		if err != nil {
+			return outMsg{frame: wire.ErrFrame(f.ID, err.Error())}, true
+		}
+		if n := s.enqueue([]int64{v}); n == 0 {
+			return outMsg{frame: s.refuse(c, f.ID)}, false
+		}
+		c.fulls = 0
+		return outMsg{frame: wire.AckFrame(f.ID)}, false
+
+	case wire.EnqBatch:
+		vs, err := wire.DecodeValues(f.Payload)
+		if err != nil {
+			return outMsg{frame: wire.ErrFrame(f.ID, err.Error())}, true
+		}
+		n := s.enqueue(vs)
+		if n == 0 && len(vs) > 0 {
+			return outMsg{frame: s.refuse(c, f.ID)}, false
+		}
+		c.fulls = 0
+		return outMsg{frame: wire.AckCountFrame(f.ID, n)}, false
+
+	case wire.Deq:
+		if v, ok := s.dequeueOne(); ok {
+			return outMsg{frame: wire.ValueFrame(f.ID, v), deqVals: []int64{v}}, false
+		}
+		return outMsg{frame: wire.EmptyFrame(f.ID)}, false
+
+	case wire.DeqBatch:
+		max, err := wire.DecodeCount(f.Payload)
+		if err != nil {
+			return outMsg{frame: wire.ErrFrame(f.ID, err.Error())}, true
+		}
+		vs := s.dequeueBatch(max)
+		if len(vs) == 0 {
+			return outMsg{frame: wire.EmptyFrame(f.ID)}, false
+		}
+		return outMsg{frame: wire.ValuesFrame(f.ID, vs), deqVals: vs}, false
+
+	case wire.Stats:
+		s.cfg.Probe.Add(metrics.WireControl, 1)
+		return outMsg{frame: wire.StatsReplyFrame(f.ID, s.Counters())}, false
+
+	case wire.Ping:
+		s.cfg.Probe.Add(metrics.WireControl, 1)
+		return outMsg{frame: wire.PongFrame(f.ID)}, false
+
+	default:
+		return outMsg{frame: wire.ErrFrame(f.ID, fmt.Sprintf("unexpected frame type %v", f.Type))}, true
+	}
+}
+
+// enqueue applies a prefix of vs to the queue under the drain gate and
+// returns how many elements were accepted (and therefore acknowledged).
+func (s *Server) enqueue(vs []int64) int {
+	s.opMu.RLock()
+	defer s.opMu.RUnlock()
+	if s.draining.Load() {
+		return 0
+	}
+	start := s.now()
+	n := 0
+	if s.batcher != nil && len(vs) > 1 {
+		// Amortized path: one reservation sweep instead of len(vs)
+		// round trips over the queue's synchronisation words.
+		ints := make([]int, len(vs))
+		for i, v := range vs {
+			ints[i] = int(v)
+		}
+		n = s.batcher.EnqueueBatch(ints)
+	} else {
+		for _, v := range vs {
+			if s.bounded != nil {
+				if !s.bounded.TryEnqueue(int(v)) {
+					break
+				}
+			} else {
+				s.cfg.Queue.Enqueue(int(v))
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		s.backlog.Add(int64(n))
+		s.enqueued.Add(uint64(n))
+		s.cfg.Probe.Add(metrics.WireEnq, int64(n))
+		s.observe(metrics.Enqueue, start)
+	}
+	return n
+}
+
+// refuse builds the RETRY response for a refused enqueue, escalating the
+// hint with the connection's consecutive refusals.
+func (s *Server) refuse(c *connState, id uint64) wire.Frame {
+	reason := wire.RetryFull
+	if s.draining.Load() {
+		reason = wire.RetryDraining
+	}
+	shift := c.fulls
+	if shift > maxHintShift {
+		shift = maxHintShift
+	}
+	c.fulls++
+	s.retries.Add(1)
+	s.cfg.Probe.Add(metrics.WireRetry, 1)
+	return wire.RetryFrame(id, reason, s.cfg.RetryHint<<shift)
+}
+
+func (s *Server) dequeueOne() (int64, bool) {
+	start := s.now()
+	v, ok := s.cfg.Queue.Dequeue()
+	if !ok {
+		s.empties.Add(1)
+		s.cfg.Probe.Add(metrics.WireEmpty, 1)
+		return 0, false
+	}
+	s.observe(metrics.Dequeue, start)
+	return int64(v), true
+}
+
+func (s *Server) dequeueBatch(max int) []int64 {
+	if max <= 0 {
+		return nil
+	}
+	if max > wire.MaxBatch {
+		max = wire.MaxBatch
+	}
+	start := s.now()
+	var n int
+	ints := make([]int, max)
+	if s.batcher != nil {
+		n = s.batcher.DequeueBatch(ints)
+	} else {
+		for n < max {
+			v, ok := s.cfg.Queue.Dequeue()
+			if !ok {
+				break
+			}
+			ints[n] = v
+			n++
+		}
+	}
+	if n == 0 {
+		s.empties.Add(1)
+		s.cfg.Probe.Add(metrics.WireEmpty, 1)
+		return nil
+	}
+	s.observe(metrics.Dequeue, start)
+	vs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		vs[i] = int64(ints[i])
+	}
+	return vs
+}
+
+func (s *Server) settleDequeued(n int) {
+	s.backlog.Add(-int64(n))
+	s.dequeued.Add(uint64(n))
+	s.cfg.Probe.Add(metrics.WireDeq, int64(n))
+}
+
+// now is time.Now gated on the probe, so the unprobed hot path pays no
+// clock reads.
+func (s *Server) now() time.Time {
+	if !s.cfg.Probe.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (s *Server) observe(op metrics.Op, start time.Time) {
+	if !start.IsZero() {
+		s.cfg.Probe.Observe(op, time.Since(start))
+	}
+}
+
+// writeLoop drains out into conn, flushing only when no response is
+// immediately pending — the amortization that turns a pipelined burst
+// into one syscall. Delivered values are settled against the backlog only
+// after the flush that put them on the wire; values stuck in a dead
+// writer are put back in the queue (see outMsg).
+func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
+	bw := newBufWriter(conn)
+	var unflushed []int64
+	fail := func(what string, err error) {
+		s.logf("%s to %v: %v", what, conn.RemoteAddr(), err)
+		s.requeue(unflushed)
+		// Keep consuming so the reader never blocks on a dead writer; it
+		// notices the broken connection itself and closes the channel.
+		for m := range out {
+			s.requeue(m.deqVals)
+		}
+	}
+	for m := range out {
+		if err := wire.Write(bw, m.frame); err != nil {
+			fail("write", err)
+			return
+		}
+		unflushed = append(unflushed, m.deqVals...)
+		if len(out) == 0 {
+			if err := bw.Flush(); err != nil {
+				fail("flush", err)
+				return
+			}
+			if len(unflushed) > 0 {
+				s.settleDequeued(len(unflushed))
+				unflushed = unflushed[:0]
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		s.logf("final flush to %v: %v", conn.RemoteAddr(), err)
+		s.requeue(unflushed)
+		return
+	}
+	if len(unflushed) > 0 {
+		s.settleDequeued(len(unflushed))
+	}
+}
+
+// requeue returns undelivered values to the queue so a connected consumer
+// (or the drain) can still flush them. Redelivered values re-enter at the
+// tail — the usual at-least-once reordering, documented in DESIGN §12. If
+// a bounded queue is full the residue is dropped and settled so a drain
+// terminates instead of waiting for elements nobody holds; the Lost
+// counter records the event.
+func (s *Server) requeue(vs []int64) {
+	n := 0
+	for _, v := range vs {
+		if s.bounded != nil {
+			if !s.bounded.TryEnqueue(int(v)) {
+				break
+			}
+		} else {
+			s.cfg.Queue.Enqueue(int(v))
+		}
+		n++
+	}
+	if lost := len(vs) - n; lost > 0 {
+		s.backlog.Add(-int64(lost))
+		s.lost.Add(uint64(lost))
+		s.logf("requeue: dropped %d undeliverable value(s), bounded queue full", lost)
+	}
+}
+
+// newBufWriter sizes the per-connection write buffer: large enough to
+// coalesce a pipelined burst of small frames into one syscall.
+func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 32*1024) }
+
+// Counters snapshots the wire-path tallies. Quiescent reads are exact;
+// concurrent ones are approximate, like every counter in this module.
+func (s *Server) Counters() wire.Counters {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	return wire.Counters{
+		Enqueued: s.enqueued.Load(),
+		Dequeued: s.dequeued.Load(),
+		Empties:  s.empties.Load(),
+		Retries:  s.retries.Load(),
+		Conns:    uint64(conns),
+		Draining: s.draining.Load(),
+	}
+}
+
+// Backlog returns acknowledged-but-undelivered elements.
+func (s *Server) Backlog() int64 { return s.backlog.Load() }
+
+// Lost returns acknowledged elements dropped because they could not be
+// redelivered after a consumer's connection died with responses in flight
+// and the bounded queue had no room to take them back. Zero in every
+// orderly run.
+func (s *Server) Lost() uint64 { return s.lost.Load() }
+
+// Drain performs the graceful shutdown: stop accepting connections,
+// refuse new enqueues with RETRY(draining), keep serving dequeues until
+// the acknowledged backlog reaches zero, then close every connection. It
+// returns nil once the backlog is flushed, or the context error with the
+// residual backlog if consumers did not keep up — in which case the
+// connections are closed anyway (a bounded drain, not a hung process).
+func (s *Server) Drain(ctx context.Context) error {
+	// The exclusive lock is the cut-over: once released, every enqueue
+	// path observes draining and refuses, so backlog only decreases.
+	s.opMu.Lock()
+	s.draining.Store(true)
+	s.opMu.Unlock()
+
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	var err error
+	for s.backlog.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = fmt.Errorf("server: drain interrupted with backlog %d: %w", s.backlog.Load(), ctx.Err())
+		case <-time.After(time.Millisecond):
+			continue
+		}
+		break
+	}
+
+	s.closeConns()
+	s.wg.Wait()
+	return err
+}
+
+// Close force-closes listeners and connections without draining.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,360 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"msqueue/internal/core"
+	"msqueue/internal/metrics"
+	"msqueue/internal/ring"
+	"msqueue/internal/wire"
+)
+
+// rawConn speaks the wire protocol directly over one connection, strictly
+// one request/response at a time — the discipline net.Pipe's synchronous
+// rendezvous requires (pipelined traffic is exercised over TCP by the
+// client package's tests).
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	id   uint64
+	buf  []byte
+}
+
+func (c *rawConn) roundTrip(f wire.Frame) (wire.Frame, error) {
+	if err := wire.Write(c.conn, f); err != nil {
+		return wire.Frame{}, err
+	}
+	resp, buf, err := wire.Read(c.conn, c.buf)
+	c.buf = buf
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	// ERR frames sent before a request was read (connection refusal)
+	// carry id 0; anything else must echo the request id.
+	if resp.ID != f.ID && resp.Type != wire.Err {
+		c.t.Fatalf("response id %d for request id %d", resp.ID, f.ID)
+	}
+	// The payload aliases c.buf and the next roundTrip overwrites it;
+	// copy so callers may hold responses.
+	resp.Payload = append([]byte(nil), resp.Payload...)
+	return resp, nil
+}
+
+func (c *rawConn) nextID() uint64 { c.id++; return c.id }
+
+func (c *rawConn) enq(v int64) (wire.Frame, error) {
+	return c.roundTrip(wire.EnqFrame(c.nextID(), v))
+}
+
+func (c *rawConn) deq() (wire.Frame, error) {
+	return c.roundTrip(wire.DeqFrame(c.nextID()))
+}
+
+// pipeServer wires a raw client to s over net.Pipe.
+func pipeServer(t *testing.T, s *Server) *rawConn {
+	t.Helper()
+	client, srv := net.Pipe()
+	go s.ServeConn(srv)
+	t.Cleanup(func() { client.Close() })
+	return &rawConn{t: t, conn: client}
+}
+
+func TestServeConnBasics(t *testing.T) {
+	probe := metrics.NewProbe()
+	s := New(Config{Queue: core.NewMS[int](), Probe: probe})
+	c := pipeServer(t, s)
+
+	for i := int64(0); i < 5; i++ {
+		resp, err := c.enq(i * 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.Ack {
+			t.Fatalf("enq response = %v, want ACK", resp.Type)
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		resp, err := c.deq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.Value {
+			t.Fatalf("deq response = %v, want VALUE", resp.Type)
+		}
+		v, err := wire.DecodeValue(resp.Payload)
+		if err != nil || v != i*10 {
+			t.Fatalf("deq value = %d, %v; want %d (FIFO over the wire)", v, err, i*10)
+		}
+	}
+	if resp, _ := c.deq(); resp.Type != wire.Empty {
+		t.Fatalf("deq on empty = %v, want EMPTY", resp.Type)
+	}
+	if resp, _ := c.roundTrip(wire.PingFrame(c.nextID())); resp.Type != wire.Pong {
+		t.Fatalf("ping = %v, want PONG", resp.Type)
+	}
+
+	resp, err := c.roundTrip(wire.StatsFrame(c.nextID()))
+	if err != nil || resp.Type != wire.StatsReply {
+		t.Fatalf("stats = %v, %v; want STATS_REPLY", resp.Type, err)
+	}
+	counters, err := wire.DecodeCounters(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Enqueued != 5 || counters.Dequeued != 5 || counters.Empties != 1 || counters.Backlog() != 0 {
+		t.Fatalf("counters = %+v, want enq=5 deq=5 empties=1", counters)
+	}
+
+	// Every frame path must have hit its probe site.
+	for _, site := range []metrics.Site{metrics.WireEnq, metrics.WireDeq, metrics.WireEmpty, metrics.WireControl} {
+		if probe.Site(site) == 0 {
+			t.Errorf("probe site %v = 0, want > 0", site)
+		}
+	}
+}
+
+// TestBackpressureRetry: a full bounded queue yields RETRY frames with an
+// escalating hint instead of growth, and acceptance resumes after a
+// dequeue frees a slot.
+func TestBackpressureRetry(t *testing.T) {
+	const cap = 4
+	probe := metrics.NewProbe()
+	s := New(Config{Queue: ring.New[int](cap), Probe: probe, RetryHint: time.Millisecond})
+	c := pipeServer(t, s)
+
+	for i := int64(0); i < cap; i++ {
+		if resp, _ := c.enq(i); resp.Type != wire.Ack {
+			t.Fatalf("enq %d = %v, want ACK", i, resp.Type)
+		}
+	}
+	var lastHint time.Duration
+	for i := 0; i < 3; i++ {
+		resp, err := c.enq(99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.Retry {
+			t.Fatalf("enq on full = %v, want RETRY", resp.Type)
+		}
+		reason, hint, err := wire.DecodeRetry(resp.Payload)
+		if err != nil || reason != wire.RetryFull {
+			t.Fatalf("retry reason = %v, %v; want full", reason, err)
+		}
+		if hint <= lastHint {
+			t.Fatalf("refusal %d hint = %v, want > previous %v (escalation)", i, hint, lastHint)
+		}
+		lastHint = hint
+	}
+	if got := probe.Site(metrics.WireRetry); got != 3 {
+		t.Fatalf("WireRetry = %d, want 3", got)
+	}
+
+	if resp, _ := c.deq(); resp.Type != wire.Value {
+		t.Fatal("dequeue after refusals failed")
+	}
+	resp, _ := c.enq(100)
+	if resp.Type != wire.Ack {
+		t.Fatalf("enq after freeing a slot = %v, want ACK (hint reset path)", resp.Type)
+	}
+}
+
+// TestBatchFrames exercises ENQ_BATCH/DEQ_BATCH on a Batcher-capable ring
+// (amortized path) and on the plain MS queue (fallback loop), including
+// the partial-accept prefix on a full bounded queue.
+func TestBatchFrames(t *testing.T) {
+	t.Run("ring-batcher", func(t *testing.T) { testBatchFrames(t, New(Config{Queue: ring.New[int](8)}), 8) })
+	t.Run("ms-fallback", func(t *testing.T) { testBatchFrames(t, New(Config{Queue: core.NewMS[int]()}), 0) })
+}
+
+func testBatchFrames(t *testing.T, s *Server, capacity int) {
+	c := pipeServer(t, s)
+
+	vs := []int64{1, 2, 3, 4, 5}
+	resp, err := c.roundTrip(wire.EnqBatchFrame(c.nextID(), vs))
+	if err != nil || resp.Type != wire.Ack {
+		t.Fatalf("enq batch = %v, %v; want ACK", resp.Type, err)
+	}
+	if n, _ := wire.DecodeCount(resp.Payload); n != len(vs) {
+		t.Fatalf("batch accepted %d, want %d", n, len(vs))
+	}
+
+	if capacity > 0 {
+		// 5 of 8 slots used; a batch of 6 must be accepted as a prefix of 3.
+		resp, err := c.roundTrip(wire.EnqBatchFrame(c.nextID(), []int64{6, 7, 8, 9, 10, 11}))
+		if err != nil || resp.Type != wire.Ack {
+			t.Fatalf("partial batch = %v, %v; want ACK", resp.Type, err)
+		}
+		if n, _ := wire.DecodeCount(resp.Payload); n != capacity-len(vs) {
+			t.Fatalf("partial batch accepted %d, want %d", n, capacity-len(vs))
+		}
+		// And with zero room, RETRY rather than a zero-count ack.
+		resp, err = c.roundTrip(wire.EnqBatchFrame(c.nextID(), []int64{12}))
+		if err != nil || resp.Type != wire.Retry {
+			t.Fatalf("batch on full = %v, %v; want RETRY", resp.Type, err)
+		}
+	}
+
+	got := make([]int64, 0, capacity+len(vs))
+	for {
+		resp, err := c.roundTrip(wire.DeqBatchFrame(c.nextID(), 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type == wire.Empty {
+			break
+		}
+		if resp.Type != wire.Values {
+			t.Fatalf("deq batch = %v, want VALUES", resp.Type)
+		}
+		batch, err := wire.DecodeValues(resp.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 || len(batch) > 3 {
+			t.Fatalf("deq batch returned %d values, want 1..3", len(batch))
+		}
+		got = append(got, batch...)
+	}
+	for i, v := range got {
+		if v != int64(i+1) {
+			t.Fatalf("batch dequeue order: got[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestDrainRefusesNewWork: after Drain begins, enqueues get
+// RETRY(draining) while dequeues keep working.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int]()})
+	c := pipeServer(t, s)
+
+	if resp, _ := c.enq(7); resp.Type != wire.Ack {
+		t.Fatal("pre-drain enqueue failed")
+	}
+
+	drainDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { drainDone <- s.Drain(ctx) }()
+
+	// Wait for the cut-over, then probe.
+	for !s.draining.Load() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	resp, err := c.enq(8)
+	if err != nil {
+		t.Fatalf("enqueue during drain: conn error %v before RETRY", err)
+	}
+	if resp.Type != wire.Retry {
+		t.Fatalf("enqueue during drain = %v, want RETRY", resp.Type)
+	}
+	reason, _, err := wire.DecodeRetry(resp.Payload)
+	if err != nil || reason != wire.RetryDraining {
+		t.Fatalf("drain retry reason = %v, %v; want draining", reason, err)
+	}
+
+	resp, err = c.deq()
+	if err != nil || resp.Type != wire.Value {
+		t.Fatalf("dequeue during drain = %v, %v; want VALUE (drain must flush acked work)", resp.Type, err)
+	}
+	if v, _ := wire.DecodeValue(resp.Payload); v != 7 {
+		t.Fatalf("drained value = %d, want 7", v)
+	}
+
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain = %v, want nil after backlog flushed", err)
+	}
+}
+
+// TestDrainTimeout: a backlog nobody consumes bounds the drain at the
+// context deadline instead of hanging, and reports the residue.
+func TestDrainTimeout(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int]()})
+	c := pipeServer(t, s)
+	if resp, _ := c.enq(1); resp.Type != wire.Ack {
+		t.Fatal("enqueue failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain with unconsumed backlog = nil, want deadline error")
+	}
+	if got := s.Backlog(); got != 1 {
+		t.Fatalf("residual backlog = %d, want 1", got)
+	}
+}
+
+// TestConnLimit: connections beyond MaxConns are refused with an ERR
+// frame and closed; a slot freed by a disconnect is reusable.
+func TestConnLimit(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int](), MaxConns: 1, Logf: t.Logf})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+
+	dial := func() net.Conn {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+
+	first := dial()
+	defer first.Close()
+	c1 := &rawConn{t: t, conn: first}
+	if resp, err := c1.enq(1); err != nil || resp.Type != wire.Ack {
+		t.Fatalf("first conn enq = %v, %v", resp.Type, err)
+	}
+
+	second := dial()
+	f, _, err := wire.Read(second, nil)
+	if err != nil || f.Type != wire.Err {
+		t.Fatalf("over-limit conn read = %v, %v; want ERR frame", f.Type, err)
+	}
+	if _, _, err := wire.Read(second, nil); err == nil {
+		t.Fatal("over-limit conn stayed open after ERR")
+	}
+	second.Close()
+
+	first.Close()
+	// The slot release is asynchronous (the handler notices the close);
+	// poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		third := dial()
+		c3 := &rawConn{t: t, conn: third}
+		resp, err := c3.enq(2)
+		if err == nil && resp.Type == wire.Ack {
+			third.Close()
+			break
+		}
+		third.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("freed connection slot never became reusable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProtocolErrorCloses: a malformed or unknown frame gets ERR and the
+// connection is closed.
+func TestProtocolErrorCloses(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int]()})
+	c := pipeServer(t, s)
+
+	resp, err := c.roundTrip(wire.Frame{Type: wire.Type(0x7F), ID: 1})
+	if err != nil || resp.Type != wire.Err {
+		t.Fatalf("unknown frame = %v, %v; want ERR", resp.Type, err)
+	}
+	if _, _, err := wire.Read(c.conn, nil); err != io.EOF && err != io.ErrUnexpectedEOF {
+		t.Fatalf("connection after ERR: read = %v, want closed", err)
+	}
+}
