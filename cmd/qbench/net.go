@@ -19,7 +19,7 @@ import (
 // comes.
 func netBench(addr string, workers int, dur time.Duration, quiet bool) error {
 	probe := metrics.NewProbe()
-	var enqs, deqs, empties atomic.Int64
+	var enqs, deqs, empties, dials atomic.Int64
 
 	deadline := time.Now().Add(dur)
 	errCh := make(chan error, workers)
@@ -34,6 +34,7 @@ func netBench(addr string, workers int, dur time.Duration, quiet bool) error {
 				return
 			}
 			defer c.Close()
+			defer func() { dials.Add(int64(c.Dials())) }()
 			v := w << 24
 			for time.Now().Before(deadline) {
 				start := time.Now()
@@ -95,8 +96,18 @@ func netBench(addr string, workers int, dur time.Duration, quiet bool) error {
 	if ops == 0 {
 		return fmt.Errorf("no operation completed against %s in %v", addr, dur)
 	}
+	// Conservation is exact only on unbroken connections: a reconnect's
+	// at-least-once resend window can duplicate an enqueue (dequeues drain
+	// more than were counted) or lose an in-flight VALUE frame. With
+	// reconnects the mismatch is expected client behavior, not a server
+	// bug, so it is reported rather than fatal.
+	reconnects := dials.Load() - int64(workers)
 	if enqs.Load() != deqs.Load() {
-		return fmt.Errorf("conservation failure: %d enqueues vs %d dequeues after drain", enqs.Load(), deqs.Load())
+		if reconnects <= 0 {
+			return fmt.Errorf("conservation failure: %d enqueues vs %d dequeues after drain", enqs.Load(), deqs.Load())
+		}
+		fmt.Printf("warning: %d enqueues vs %d dequeues after drain (%d reconnect(s); at-least-once resend window)\n",
+			enqs.Load(), deqs.Load(), reconnects)
 	}
 
 	fmt.Printf("net benchmark: %s, %d workers, %v\n", addr, workers, dur)

@@ -57,6 +57,7 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal, onReady func(n
 		capacity   = fs.Int("cap", 0, "capacity for bounded algorithms (0 = implementation default; full queues send RETRY)")
 		maxConns   = fs.Int("maxconns", 0, "connection limit (0 = unlimited); over-limit dials are refused with ERR")
 		retryHint  = fs.Duration("hint", server.DefaultRetryHint, "base backoff hint carried in RETRY frames")
+		idle       = fs.Duration("idle", 0, "close connections idle longer than this (0 = never; frees -maxconns slots pinned by dead clients)")
 		drainTime  = fs.Duration("drain", 10*time.Second, "drain deadline on shutdown; backlog still undelivered after this is reported lost")
 		metricsRep = fs.Bool("metrics", false, "serve with a contention probe and print the report on shutdown")
 		list       = fs.Bool("list", false, "list the servable algorithms and exit")
@@ -78,6 +79,8 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal, onReady func(n
 		return fmt.Errorf("-hint must be positive, got %v", *retryHint)
 	case *drainTime <= 0:
 		return fmt.Errorf("-drain must be positive, got %v", *drainTime)
+	case *idle < 0:
+		return fmt.Errorf("-idle must be >= 0, got %v", *idle)
 	}
 
 	info, err := cliutil.SelectOne(*algo)
@@ -100,10 +103,11 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal, onReady func(n
 		fmt.Fprintf(stdout, "qserve: "+format+"\n", a...)
 	}
 	s := server.New(server.Config{
-		Queue:     q,
-		MaxConns:  *maxConns,
-		RetryHint: *retryHint,
-		Probe:     probe,
+		Queue:       q,
+		MaxConns:    *maxConns,
+		RetryHint:   *retryHint,
+		IdleTimeout: *idle,
+		Probe:       probe,
 		Logf: func(format string, a ...any) {
 			if !*quiet {
 				logf(format, a...)

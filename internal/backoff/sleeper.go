@@ -35,9 +35,11 @@ type Sleeper struct {
 }
 
 // Next records one more failure and returns the jittered duration to wait
-// before retrying. hint, when positive, raises the first interval's floor:
-// a server that answered RETRY with a backoff hint knows its drain rate
-// better than the client's defaults do. Callers sleep themselves
+// before retrying. hint, when positive, raises the interval's floor on
+// every call: a server that answered RETRY with a backoff hint knows its
+// drain rate better than the client's defaults do, and a server escalating
+// its hints across consecutive refusals must not be out-voted by a smaller
+// locally-doubled limit. Callers sleep themselves
 // (time.Sleep(s.Next(hint))), so tests can observe the schedule without
 // waiting it out.
 func (s *Sleeper) Next(hint time.Duration) time.Duration {
@@ -46,9 +48,9 @@ func (s *Sleeper) Next(hint time.Duration) time.Duration {
 	}
 	if s.limit == 0 {
 		s.limit = s.min()
-		if hint > s.limit {
-			s.limit = hint
-		}
+	}
+	if hint > s.limit {
+		s.limit = hint
 	}
 	d := s.limit/2 + time.Duration(s.next()%uint64(s.limit/2+1))
 	if max := s.max(); s.limit < max {

@@ -52,6 +52,19 @@ func TestSleeperHint(t *testing.T) {
 	}
 }
 
+// TestSleeperEscalatingHint: a hint arriving after the first failure
+// still raises the floor — a server escalating its RETRY hints across
+// consecutive refusals is honored on every call, not just the first.
+func TestSleeperEscalatingHint(t *testing.T) {
+	s := &Sleeper{Min: time.Millisecond, Max: time.Second}
+	s.Next(time.Millisecond) // bound now 2ms; server escalates past it
+	hint := 100 * time.Millisecond
+	d := s.Next(hint)
+	if d < hint/2 || d > hint {
+		t.Fatalf("interval with escalated hint %v = %v, want within [%v, %v]", hint, d, hint/2, hint)
+	}
+}
+
 // TestSleeperJitters: consecutive same-bound draws should not all
 // coincide (the whole point of the jitter). With Max=Min the bound is
 // pinned, so any variation comes from the jitter alone.

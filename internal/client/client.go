@@ -65,6 +65,13 @@ type Config struct {
 	// ReconnectMin and ReconnectMax override the redial backoff bounds
 	// (defaults backoff.DefaultMinSleep/DefaultMaxSleep).
 	ReconnectMin, ReconnectMax time.Duration
+	// OpTimeout, when positive, bounds how long one attempt waits for its
+	// response frame. A server that stops responding without closing the
+	// connection would otherwise block the caller forever; on timeout the
+	// connection is dropped and the attempt retried like any connection
+	// failure (the request's fate is unknown — the usual at-least-once
+	// window applies). 0 means wait indefinitely.
+	OpTimeout time.Duration
 	// Logf, when non-nil, receives reconnect diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -267,7 +274,16 @@ func (c *Client) roundTrip(build func(id uint64) wire.Frame) (wire.Frame, error)
 			lastErr = err
 			continue
 		}
-		resp, ok := <-ch
+		resp, ok, timedOut := c.await(ch)
+		if timedOut {
+			// The server went silent without closing the connection. Drop
+			// it so the next attempt redials; the request's fate is
+			// unknown, like any connection failure.
+			lastErr = fmt.Errorf("client: no response within %v", c.cfg.OpTimeout)
+			c.dropConn(h, lastErr)
+			c.logf("%v request timed out after %v", f.Type, c.cfg.OpTimeout)
+			continue
+		}
 		if !ok {
 			// The connection died before this request's response. Its
 			// fate is unknown; resend on a fresh connection
@@ -282,6 +298,25 @@ func (c *Client) roundTrip(build func(id uint64) wire.Frame) (wire.Frame, error)
 		return resp, nil
 	}
 	return wire.Frame{}, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxReconnects+1, lastErr)
+}
+
+// await waits for one response slot to resolve, bounded by OpTimeout when
+// configured. timedOut reports that the deadline fired first; the caller
+// owns dropping the connection (the pending slot is then resolved by the
+// handle's death, never read again).
+func (c *Client) await(ch <-chan wire.Frame) (resp wire.Frame, ok, timedOut bool) {
+	if c.cfg.OpTimeout <= 0 {
+		resp, ok = <-ch
+		return resp, ok, false
+	}
+	timer := time.NewTimer(c.cfg.OpTimeout)
+	defer timer.Stop()
+	select {
+	case resp, ok = <-ch:
+		return resp, ok, false
+	case <-timer.C:
+		return wire.Frame{}, false, true
+	}
 }
 
 // Enqueue appends v, blocking through RETRY backpressure until the

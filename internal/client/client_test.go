@@ -423,6 +423,83 @@ func TestGiveUpAfterMaxReconnects(t *testing.T) {
 	}
 }
 
+// TestOpTimeoutDropsSilentServer: a server that reads requests but never
+// answers must not block the caller forever. With OpTimeout set the
+// attempt times out, the connection is dropped, and the retry succeeds
+// once the dialer reaches a live server.
+func TestOpTimeoutDropsSilentServer(t *testing.T) {
+	s := server.New(server.Config{Queue: core.NewMS[int]()})
+	defer s.Close()
+
+	// First dial lands on a black hole that swallows frames; every later
+	// dial reaches the real server.
+	var mu sync.Mutex
+	dialed := 0
+	c := New(Config{
+		Dial: func() (net.Conn, error) {
+			mu.Lock()
+			dialed++
+			first := dialed == 1
+			mu.Unlock()
+			clientEnd, srvEnd := net.Pipe()
+			if first {
+				go func() {
+					buf := make([]byte, 1024)
+					for {
+						if _, err := srvEnd.Read(buf); err != nil {
+							return
+						}
+					}
+				}()
+			} else {
+				go s.ServeConn(srvEnd)
+			}
+			return clientEnd, nil
+		},
+		OpTimeout:    50 * time.Millisecond,
+		ReconnectMin: 100 * time.Microsecond,
+		Logf:         t.Logf,
+	})
+	defer c.Close()
+
+	start := time.Now()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping through a silent first connection = %v, want success after timeout+redial", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("Ping returned in %v, before the %v timeout could have fired", elapsed, 50*time.Millisecond)
+	}
+	if got := c.Dials(); got != 2 {
+		t.Fatalf("Dials = %d, want 2 (timeout must drop the silent connection)", got)
+	}
+}
+
+// TestOpTimeoutExhaustsAttempts: when every connection stays silent the
+// operation fails with the timeout error instead of hanging.
+func TestOpTimeoutExhaustsAttempts(t *testing.T) {
+	c := New(Config{
+		Dial: func() (net.Conn, error) {
+			clientEnd, srvEnd := net.Pipe()
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := srvEnd.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			return clientEnd, nil
+		},
+		OpTimeout:     20 * time.Millisecond,
+		MaxReconnects: 2,
+		ReconnectMin:  100 * time.Microsecond,
+	})
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping against permanently silent servers = nil, want timeout error")
+	}
+}
+
 func drainCtx(t *testing.T) context.Context {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	t.Cleanup(cancel)

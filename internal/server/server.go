@@ -75,6 +75,11 @@ type Config struct {
 	// DefaultRetryHint). A connection's consecutive refusals double it,
 	// up to RetryHint<<6.
 	RetryHint time.Duration
+	// IdleTimeout, when positive, bounds how long a connection may go
+	// without delivering a complete frame before the server closes it, so
+	// a client that connects and goes silent cannot pin a MaxConns slot
+	// forever. The deadline is refreshed on every frame. 0 disables it.
+	IdleTimeout time.Duration
 	// Probe, when non-nil, records an event on every frame path (the
 	// metrics.Wire* sites) and the server-observed enqueue/dequeue
 	// latencies.
@@ -232,9 +237,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 	c := &connState{}
 	var buf []byte
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		f, newBuf, err := wire.Read(conn, buf)
 		if err != nil {
-			return // clean close, torn frame or our own teardown: stop reading either way
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.logf("closing idle connection %v after %v", conn.RemoteAddr(), s.cfg.IdleTimeout)
+			}
+			return // clean close, torn frame, idle reap or our own teardown: stop reading either way
 		}
 		buf = newBuf
 		resp, fatal := s.handle(c, f)
@@ -461,11 +472,14 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
 		}
 	}
 	for m := range out {
+		// The frame's values join unflushed before the write attempt: a
+		// failed Write may have buffered or half-sent the frame, so its
+		// values are undelivered and must be requeued with the rest.
+		unflushed = append(unflushed, m.deqVals...)
 		if err := wire.Write(bw, m.frame); err != nil {
 			fail("write", err)
 			return
 		}
-		unflushed = append(unflushed, m.deqVals...)
 		if len(out) == 0 {
 			if err := bw.Flush(); err != nil {
 				fail("flush", err)

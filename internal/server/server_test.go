@@ -344,6 +344,72 @@ func TestConnLimit(t *testing.T) {
 	}
 }
 
+// TestWriteFailureRequeuesInFlight: when the frame write itself fails —
+// not just the trailing flush — the failing frame's dequeued values must
+// be requeued and their backlog conserved. A frame above the 32 KiB write
+// buffer makes wire.Write hit the dead connection directly, exercising the
+// write-error branch rather than the flush-error one.
+func TestWriteFailureRequeuesInFlight(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int](), Logf: t.Logf})
+	vs := make([]int64, 8192) // 64 KiB payload > 32 KiB buffer
+	for i := range vs {
+		vs[i] = int64(i)
+	}
+	s.backlog.Add(int64(len(vs))) // as the enqueues that produced vs did
+
+	clientEnd, srvEnd := net.Pipe()
+	clientEnd.Close() // every write to srvEnd now fails
+
+	out := make(chan outMsg, 1)
+	out <- outMsg{frame: wire.ValuesFrame(1, vs), deqVals: vs}
+	close(out)
+	s.writeLoop(srvEnd, out)
+
+	if got := s.Lost(); got != 0 {
+		t.Fatalf("Lost = %d, want 0 (the unbounded queue takes everything back)", got)
+	}
+	if got := s.Backlog(); got != int64(len(vs)) {
+		t.Fatalf("Backlog = %d, want %d (undelivered values stay acknowledged)", got, len(vs))
+	}
+	requeued := 0
+	for {
+		if _, ok := s.cfg.Queue.Dequeue(); !ok {
+			break
+		}
+		requeued++
+	}
+	if requeued != len(vs) {
+		t.Fatalf("requeued %d values, want %d: the failing frame's values leaked", requeued, len(vs))
+	}
+}
+
+// TestIdleTimeoutReapsSilentConn: a connection that sends nothing is
+// closed after IdleTimeout (releasing its MaxConns slot), while a
+// connection that keeps sending frames refreshes its deadline and lives.
+func TestIdleTimeoutReapsSilentConn(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int](), IdleTimeout: 25 * time.Millisecond, Logf: t.Logf})
+
+	silent, srvEnd := net.Pipe()
+	defer silent.Close()
+	done := make(chan struct{})
+	go func() { s.ServeConn(srvEnd); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent connection was never reaped")
+	}
+
+	// An active connection outlives many idle windows.
+	c := pipeServer(t, s)
+	for i := int64(0); i < 5; i++ {
+		time.Sleep(10 * time.Millisecond)
+		resp, err := c.enq(i)
+		if err != nil || resp.Type != wire.Ack {
+			t.Fatalf("active conn enq %d = %v, %v; want ACK (deadline must refresh per frame)", i, resp, err)
+		}
+	}
+}
+
 // TestProtocolErrorCloses: a malformed or unknown frame gets ERR and the
 // connection is closed.
 func TestProtocolErrorCloses(t *testing.T) {
