@@ -106,6 +106,33 @@ func BenchmarkMSVariants(b *testing.B) {
 	}
 }
 
+// BenchmarkMSEpoch is the safe-memory-reclamation apples-to-apples: the
+// same MS algorithm under its four reclamation schemes — GC (ms), tagged
+// counters (ms-tagged, the paper's scheme: one counter update per CAS),
+// hazard pointers (ms-hazard: announce + re-validate per dereference) and
+// epochs (ms-epoch: one pin/unpin per operation). The per-op deltas are
+// the cost of each ABA defence; EXPERIMENTS.md records the table.
+func BenchmarkMSEpoch(b *testing.B) {
+	for _, name := range []string{"ms", "ms-tagged", "ms-hazard", "ms-epoch"} {
+		info, err := algorithms.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			q := info.New(1 << 16)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q.Enqueue(i)
+					q.Dequeue()
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkAblationBackoff is ablation A-1: the same single-lock queue
 // under the different lock algorithms — plain test_and_set, TTAS with
 // yielding backoff, TTAS with the paper's pure (non-yielding) backoff, the

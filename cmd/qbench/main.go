@@ -147,7 +147,14 @@ func run(args []string) error {
 	}
 
 	if *figures == "" {
-		// Standalone -metrics: one probed pass, no figure sweep.
+		// Standalone -metrics: one probed pass, no figure sweep. Without an
+		// explicit -algos the report wants metricsAlgos (the contenders whose
+		// contention behaviour actually differs — tagged, hazard, epoch,
+		// ring, sharded), not Select's paper-six default, so hand the choice
+		// back to metricsReport.
+		if strings.TrimSpace(*algosFlag) == "" {
+			algos = nil
+		}
 		return metricsReport(algos, *procs, *pairs, *capacity, *otherWork, *quiet)
 	}
 

@@ -12,9 +12,11 @@ import (
 
 // metricsAlgos is the default contender set for the -metrics report: the
 // paper's six plus the ablations whose contention behaviour differs from
-// their GC-based counterparts (tagged free list, sharding).
+// their GC-based counterparts (tagged free list, hazard pointers, epoch
+// reclamation, sharding).
 var metricsAlgos = []string{
-	"single-lock", "mc", "valois", "two-lock", "plj", "ms", "ms-tagged", "ring", "sharded",
+	"single-lock", "mc", "valois", "two-lock", "plj", "ms", "ms-tagged",
+	"ms-hazard", "ms-epoch", "ring", "sharded",
 }
 
 // metricsReport runs each algorithm once under a contention probe and

@@ -19,6 +19,7 @@
 //	qcheck -algo ms                       # stress + check the MS queue
 //	qcheck -algo all -procs 8 -iters 5000 # every algorithm in the catalog
 //	qcheck -algo stone                    # expected to FAIL (and exit 2)
+//	qcheck -algo ms-epoch                 # epoch-reclaimed MS variant
 //	qcheck -algo sharded                  # relaxed-contract check
 //	qcheck -chaos -algo all               # verify every declared guarantee
 //	qcheck -chaos -short -seed 7          # reduced CI sweep, replayable

@@ -12,6 +12,7 @@ import (
 
 	"msqueue/internal/baseline"
 	"msqueue/internal/core"
+	"msqueue/internal/epoch"
 	"msqueue/internal/flawed"
 	"msqueue/internal/hazard"
 	"msqueue/internal/inject"
@@ -159,6 +160,15 @@ func catalog() []Info {
 			Linearizable: true,
 			New: func(cap int) queue.Queue[int] {
 				return uint64Adapter{q: hazard.New(normCap(cap))}
+			},
+		},
+		{
+			Name:         "ms-epoch",
+			Display:      "new non-blocking (epoch reclamation)",
+			Progress:     queue.NonBlocking,
+			Linearizable: true,
+			New: func(cap int) queue.Queue[int] {
+				return uint64Adapter{q: epoch.New(normCap(cap))}
 			},
 		},
 		{

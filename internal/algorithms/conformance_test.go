@@ -12,11 +12,11 @@ import (
 // so every algorithm reachable through the catalog — including future
 // additions — carries the same guarantees. (Entries covered in their home
 // packages: ms, ms-tagged, two-lock, two-lock-tagged, single-lock, mc,
-// plj, valois, ms-hazard, universal, ring. Stone is excluded by design: it
-// is the deliberately flawed comparator.)
+// plj, valois, ms-hazard, ms-epoch, universal, ring. Stone is excluded by
+// design: it is the deliberately flawed comparator.)
 func TestCatalogConformance(t *testing.T) {
 	covered := map[string]bool{
-		"ms": true, "ms-tagged": true, "ms-hazard": true,
+		"ms": true, "ms-tagged": true, "ms-hazard": true, "ms-epoch": true,
 		"two-lock": true, "two-lock-tagged": true,
 		"single-lock": true, "mc": true, "plj": true, "valois": true,
 		"universal": true, "ring": true,

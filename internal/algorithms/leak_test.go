@@ -1,0 +1,90 @@
+package algorithms_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/core"
+	"msqueue/internal/epoch"
+	"msqueue/internal/hazard"
+	"msqueue/internal/locks"
+	"msqueue/internal/queue"
+)
+
+// soakAndDrain churns concurrent enqueue/dequeue pairs through q, then
+// drains it to empty. Capacity must exceed procs so blocking enqueues
+// cannot wedge on a full queue.
+func soakAndDrain(t *testing.T, q queue.Bounded[uint64], procs, iters int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q.Enqueue(uint64(p*iters + i))
+				q.Dequeue()
+			}
+		}(p)
+	}
+	wg.Wait()
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			return
+		}
+	}
+}
+
+// TestReclamationLeakCheck is the CI leak-check soak: every explicitly
+// reclaimed queue in the catalog — tagged arena, hazard pointers, epochs —
+// is churned under contention, drained and quiesced, after which its node
+// accounting must show zero leakage: exactly the dummy in use, the arena
+// ledger back to its floor, and no retired/limbo handles left anywhere.
+// Run under -race this doubles as a publication-safety check on the
+// reclamation paths themselves.
+func TestReclamationLeakCheck(t *testing.T) {
+	const (
+		capacity = 256
+		procs    = 6
+		iters    = 4000
+	)
+
+	t.Run("ms-tagged", func(t *testing.T) {
+		q := core.NewMSTagged(capacity)
+		soakAndDrain(t, q, procs, iters)
+		// Tagged reclamation is immediate (Free on dequeue): the arena
+		// must be back to the dummy with no quiescing needed.
+		if got := q.Arena().InUse(); got != 1 {
+			t.Fatalf("arena InUse after drain = %d, want 1 (the dummy)", got)
+		}
+	})
+
+	t.Run("two-lock-tagged", func(t *testing.T) {
+		q := core.NewTwoLockTagged(capacity, new(locks.TTAS), new(locks.TTAS))
+		soakAndDrain(t, q, procs, iters)
+		if got := q.Arena().InUse(); got != 1 {
+			t.Fatalf("arena InUse after drain = %d, want 1 (the dummy)", got)
+		}
+	})
+
+	t.Run("ms-hazard", func(t *testing.T) {
+		q := hazard.New(capacity)
+		soakAndDrain(t, q, procs, iters)
+		q.Quiesce()
+		if got := q.InUse(); got != 1 {
+			t.Fatalf("InUse after drain+quiesce = %d, want 1: retired handles stranded", got)
+		}
+	})
+
+	t.Run("ms-epoch", func(t *testing.T) {
+		q := epoch.New(capacity)
+		soakAndDrain(t, q, procs, iters)
+		q.Quiesce()
+		if got := q.Domain().LimboCount(); got != 0 {
+			t.Fatalf("LimboCount after drain+quiesce = %d, want 0", got)
+		}
+		if got := q.InUse(); got != 1 {
+			t.Fatalf("InUse after drain+quiesce = %d, want 1: limbo handles leaked", got)
+		}
+	})
+}

@@ -301,3 +301,146 @@ func TestInUseAccounting(t *testing.T) {
 		t.Fatalf("InUse = %d Cap = %d", a.InUse(), a.Cap())
 	}
 }
+
+// TestCounterWrapAround pins the behaviour at the 32-bit counter's limit —
+// the wrap the paper accepts as "extremely unlikely" rather than prevents.
+// The counter is modular: Bumped at MaxUint32 rolls over to 0 with the
+// index intact, and a wrapped reference is bit-identical to a fresh one,
+// which is precisely the residual ABA window the scheme tolerates.
+func TestCounterWrapAround(t *testing.T) {
+	const max = 1<<32 - 1
+
+	r := Pack(5, max)
+	if r.Index() != 5 || r.Count() != max {
+		t.Fatalf("Pack(5, max) = %v", r)
+	}
+	b := r.Bumped()
+	if b.Index() != 5 {
+		t.Fatalf("Bumped at wrap lost the index: %v", b)
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Bumped count at wrap = %d, want 0 (modular)", b.Count())
+	}
+	if b != Pack(5, 0) {
+		t.Fatalf("wrapped ref %v != fresh ref %v: the accepted ABA collision must be exact", b, Pack(5, 0))
+	}
+
+	// Null references carry counters too (the paper's E9 installs
+	// <node, next.count+1> over a null), so they wrap the same way.
+	n := Pack(-1, max)
+	if !n.IsNil() {
+		t.Fatalf("Pack(-1, max) = %v, want nil", n)
+	}
+	if nb := n.Bumped(); !nb.IsNil() || nb.Count() != 0 {
+		t.Fatalf("nil Bumped at wrap = %v, want <nil,0>", nb)
+	}
+
+	// A CAS across the wrap behaves like any other counter step: the old
+	// value must match exactly, and the installed value restarts at 0.
+	var w Word
+	w.Store(r)
+	if w.CAS(Pack(5, max-1), Pack(5, 0)) {
+		t.Fatal("CAS succeeded against a stale pre-wrap counter")
+	}
+	if !w.CAS(r, r.Bumped()) {
+		t.Fatal("CAS at the wrap boundary failed with a matching counter")
+	}
+	if got := w.Load(); got != Pack(5, 0) {
+		t.Fatalf("word after wrap CAS = %v, want <5,0>", got)
+	}
+	// And the collision is live: a CAS expecting the *pre-wrap epoch's*
+	// <5,0> cannot be distinguished from one expecting the wrapped value.
+	if !w.CAS(Pack(5, 0), Pack(5, 1)) {
+		t.Fatal("post-wrap CAS failed: wrapped counters must continue normally")
+	}
+}
+
+// TestInUseUnderChurn drives alloc/free cycles — full drains, partial
+// frees, refills — and checks the occupancy ledger never drifts: InUse
+// must equal outstanding allocations at every step and return to zero
+// when everything is freed.
+func TestInUseUnderChurn(t *testing.T) {
+	const capacity = 8
+	a := New(capacity)
+	for lap := 0; lap < 200; lap++ {
+		refs := make([]Ref, 0, capacity)
+		for i := 0; i < capacity; i++ {
+			r, ok := a.Alloc()
+			if !ok {
+				t.Fatalf("lap %d: alloc %d failed with %d in use", lap, i, a.InUse())
+			}
+			refs = append(refs, r)
+			if got := a.InUse(); got != len(refs) {
+				t.Fatalf("lap %d: InUse = %d, want %d", lap, got, len(refs))
+			}
+		}
+		if _, ok := a.Alloc(); ok {
+			t.Fatalf("lap %d: alloc succeeded on a full arena", lap)
+		}
+		// Free half, reallocate, then drain completely.
+		for _, r := range refs[:capacity/2] {
+			a.Free(r)
+		}
+		if got := a.InUse(); got != capacity/2 {
+			t.Fatalf("lap %d: InUse after partial free = %d, want %d", lap, got, capacity/2)
+		}
+		for i := 0; i < capacity/2; i++ {
+			r, ok := a.Alloc()
+			if !ok {
+				t.Fatalf("lap %d: refill alloc failed", lap)
+			}
+			refs[i] = r
+		}
+		for _, r := range refs[capacity/2:] {
+			a.Free(r)
+		}
+		for _, r := range refs[:capacity/2] {
+			a.Free(r)
+		}
+		if got := a.InUse(); got != 0 {
+			t.Fatalf("lap %d: InUse after full drain = %d, want 0", lap, got)
+		}
+	}
+}
+
+// TestInUseUnderConcurrentChurn is the same ledger check under contention:
+// workers hammer alloc/free on a small arena, and at quiescence every
+// successful alloc must be matched by exactly one free.
+func TestInUseUnderConcurrentChurn(t *testing.T) {
+	const (
+		capacity = 8
+		workers  = 6
+		iters    = 5000
+	)
+	a := New(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := make([]Ref, 0, 2)
+			for i := 0; i < iters; i++ {
+				if r, ok := a.Alloc(); ok {
+					held = append(held, r)
+				}
+				if len(held) == cap(held) || (i%3 == 0 && len(held) > 0) {
+					a.Free(held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+			}
+			for _, r := range held {
+				a.Free(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("InUse after concurrent churn = %d, want 0", got)
+	}
+	// The ledger must agree with the free list: the arena refills fully.
+	for i := 0; i < capacity; i++ {
+		if _, ok := a.Alloc(); !ok {
+			t.Fatalf("alloc %d failed after churn: free list lost a node", i)
+		}
+	}
+}

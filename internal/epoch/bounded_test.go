@@ -1,0 +1,33 @@
+package epoch_test
+
+import (
+	"testing"
+
+	"msqueue/internal/epoch"
+	"msqueue/internal/queue"
+	"msqueue/internal/queuetest"
+)
+
+// TestBoundedConformance runs the queue.Bounded suite. The epoch queue's
+// bound is a live-item counter, not storage exhaustion (storage is elastic
+// by design), so the refusal point is exact and needs no settling — the
+// Settle hook still quiesces so the reuse phase starts from a clean store.
+func TestBoundedConformance(t *testing.T) {
+	var q *epoch.Queue
+	queuetest.RunBounded(t, func(cap int) queue.Bounded[int] {
+		q = epoch.New(cap)
+		return queuetest.BoundedUint64(q)
+	}, queuetest.BoundedOptions{Settle: func() { q.Quiesce() }})
+}
+
+// TestBoundedCycles runs the full/empty boundary property test with Exact
+// set: the live-item counter must refuse at precisely the requested
+// capacity on every lap, regardless of how much limbo or storage the laps
+// accumulate underneath.
+func TestBoundedCycles(t *testing.T) {
+	var q *epoch.Queue
+	queuetest.RunBoundedCycles(t, func(cap int) queue.Bounded[int] {
+		q = epoch.New(cap)
+		return queuetest.BoundedUint64(q)
+	}, queuetest.BoundedCycleOptions{Exact: true, Settle: func() { q.Quiesce() }})
+}

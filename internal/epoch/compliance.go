@@ -1,0 +1,6 @@
+package epoch
+
+import "msqueue/internal/queue"
+
+// Compile-time check that the epoch-reclaimed queue speaks the contract.
+var _ queue.Bounded[uint64] = (*Queue)(nil)

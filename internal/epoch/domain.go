@@ -1,0 +1,261 @@
+// Package epoch implements epoch-based safe memory reclamation and an MS
+// queue built on it — the third point in this repository's reclamation
+// design space, next to the paper's tagged counters (internal/arena) and
+// Michael's hazard pointers (internal/hazard).
+//
+// The paper defends its compare_and_swaps against ABA with per-word
+// modification counters, paying one counter update on every CAS. Hazard
+// pointers move the cost to the readers: every dereference announces and
+// re-validates. Epochs amortize it away almost entirely: a process *pins*
+// the current global epoch before touching shared references and unpins
+// after; a retired node waits in a limbo list until the global epoch has
+// advanced twice past its retirement epoch, which proves that every process
+// that could have held a reference has since passed through a quiescent
+// (unpinned) state. The hot path pays one pin and one unpin per operation —
+// no per-dereference work, no per-CAS counter — which is why epoch schemes
+// are what modern high-performance queues actually ship with (Nikolaev's
+// memory-efficient lock-free FIFO and Fraser's original formulation;
+// PAPERS.md).
+//
+// The price is the memory bound: a single pinned process that never unpins
+// — the paper's process "halted at an inopportune moment" — freezes the
+// epoch forever, and with it every limbo list in the domain. Hazard
+// pointers bound unreclaimed memory by threads x announcements; epochs
+// bound it by nothing at all under a stalled participant. The Queue in this
+// package therefore falls back to *allocating* fresh nodes when its free
+// list is empty and reclamation is stuck, trading memory for progress; the
+// chaos suite proves that a participant crash-stopped while pinned stalls
+// reclamation but not the group (see TestCrashedPinnedParticipant).
+//
+// # The 3-epoch scheme
+//
+// The global epoch e only advances to e+1 when every pinned participant has
+// observed e. Hence while any participant is pinned at e, the global epoch
+// is at most e+1. A handle retired during epoch r was unlinked from the
+// structure while the epoch was r, so only participants pinned at r or
+// earlier can still hold it; once the global epoch reaches r+2, every such
+// participant has unpinned (the advance r+1 -> r+2 required it), and the
+// handle is safe to reuse. Three limbo buckets per participant — one per
+// epoch residue mod 3 — are exactly enough to keep "retired this epoch",
+// "retired last epoch" and "safe to free" apart.
+//
+// Handles are opaque non-zero uint64 values chosen by the client, as in
+// internal/hazard.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"msqueue/internal/metrics"
+	"msqueue/internal/pad"
+	"msqueue/internal/stack"
+)
+
+// epochs is the number of limbo generations a retired handle can wait in;
+// see the package comment for why three is exactly enough.
+const epochs = 3
+
+// DefaultFlushThreshold is the per-bucket limbo length that triggers an
+// epoch-advance attempt.
+const DefaultFlushThreshold = 32
+
+// Domain manages the global epoch, the participant registry and the limbo
+// lists for one data structure.
+type Domain struct {
+	// free recycles a handle once its retirement epoch is two advances old.
+	free func(uint64)
+
+	threshold int
+	probe     *metrics.Probe
+
+	_      pad.Line
+	global atomic.Uint64 // current epoch, starts at 0
+	_      pad.Line
+
+	// parts is the registry of every participant ever created; advance
+	// scans read the pin state of all of them. Guarded by mu for append;
+	// scans walk the snapshot slice (append-only).
+	mu    sync.Mutex
+	parts []*Participant
+
+	// idle holds unpinned participants for reuse so pinning is O(1) after
+	// warm-up (the same pooling as hazard records: a GC-safe non-intrusive
+	// Treiber stack).
+	idle stack.Stack[*Participant]
+}
+
+// Participant is a per-goroutine reclamation record: a pin word plus three
+// limbo buckets. A Participant must be used by one goroutine at a time,
+// between Pin and Unpin.
+type Participant struct {
+	// state is epoch<<1 | pinned-bit; single-writer, scanned by advances.
+	state atomic.Uint64
+	_     pad.Line
+	limbo [epochs]bucket
+}
+
+// bucket is one limbo generation: the handles retired while the
+// participant was pinned at .epoch.
+type bucket struct {
+	epoch   uint64
+	handles []uint64
+}
+
+// NewDomain creates a domain whose reclamation calls free on handles that
+// have become unreachable by the epoch rule. threshold <= 0 selects
+// DefaultFlushThreshold.
+func NewDomain(free func(uint64), threshold int) *Domain {
+	if free == nil {
+		panic("epoch: NewDomain requires a free function")
+	}
+	if threshold <= 0 {
+		threshold = DefaultFlushThreshold
+	}
+	return &Domain{free: free, threshold: threshold}
+}
+
+// SetProbe installs a contention probe recording pins, successful epoch
+// advances and limbo flushes. Call before the domain is shared.
+func (d *Domain) SetProbe(p *metrics.Probe) { d.probe = p }
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 { return d.global.Load() }
+
+// Pin enters a critical section: it acquires a participant (pooled or
+// fresh), publishes the current global epoch in its pin word, and
+// opportunistically flushes any of the participant's limbo buckets that
+// have become reclaimable. Shared references read after Pin returns are
+// safe to dereference until Unpin.
+func (d *Domain) Pin() *Participant {
+	p, ok := d.idle.Pop()
+	if !ok {
+		p = &Participant{}
+		d.mu.Lock()
+		d.parts = append(d.parts, p)
+		d.mu.Unlock()
+	}
+	// Publish-then-revalidate: if the global epoch moved between the load
+	// and the store, the stale pin blocks further advances, so one retry
+	// always stabilizes (the loop runs at most twice).
+	for {
+		e := d.global.Load()
+		p.state.Store(e<<1 | 1)
+		if d.global.Load() == e {
+			break
+		}
+	}
+	d.probe.Add(metrics.EpochPin, 1)
+	d.flushOwn(p)
+	return p
+}
+
+// Unpin leaves the critical section and returns the participant to the
+// pool. References obtained since Pin must not be used afterwards.
+func (d *Domain) Unpin(p *Participant) {
+	p.state.Store(p.state.Load() &^ 1)
+	d.idle.Push(p)
+}
+
+// Retire hands h to the domain for deferred reuse. The caller must be
+// pinned on p and must have unlinked h from the shared structure already.
+// Crossing the flush threshold triggers an epoch-advance attempt.
+func (d *Domain) Retire(p *Participant, h uint64) {
+	e := p.state.Load() >> 1
+	b := &p.limbo[e%epochs]
+	if b.epoch != e && len(b.handles) > 0 {
+		// The bucket holds garbage from e-3 or older (same residue mod 3),
+		// and the global epoch is >= e, so that generation is always
+		// reclaimable: free it before reusing the bucket.
+		d.freeBucket(b)
+	}
+	b.epoch = e
+	b.handles = append(b.handles, h)
+	if len(b.handles) >= d.threshold {
+		if d.Advance() {
+			d.flushOwn(p)
+		}
+	}
+}
+
+// Advance attempts one global epoch advance and reports whether it
+// happened. It fails when some participant is still pinned at an older
+// epoch — the stalled participant the fallback-allocation path exists for.
+func (d *Domain) Advance() bool {
+	e := d.global.Load()
+	d.mu.Lock()
+	parts := d.parts
+	d.mu.Unlock()
+	for _, p := range parts {
+		if s := p.state.Load(); s&1 == 1 && s>>1 != e {
+			return false // pinned at an older epoch: cannot advance
+		}
+	}
+	if d.global.CompareAndSwap(e, e+1) {
+		d.probe.Add(metrics.EpochAdvance, 1)
+		return true
+	}
+	// Someone else advanced concurrently; that is progress too.
+	return d.global.Load() != e
+}
+
+// flushOwn frees every reclaimable bucket of p. The caller must own p
+// (hold it between Pin and Unpin, or be quiescing the domain).
+func (d *Domain) flushOwn(p *Participant) {
+	g := d.global.Load()
+	for i := range p.limbo {
+		b := &p.limbo[i]
+		if len(b.handles) > 0 && b.epoch+2 <= g {
+			d.freeBucket(b)
+		}
+	}
+}
+
+// freeBucket frees and empties one bucket, keeping the backing array.
+func (d *Domain) freeBucket(b *bucket) {
+	d.probe.Add(metrics.EpochFlush, int64(len(b.handles)))
+	for _, h := range b.handles {
+		d.free(h)
+	}
+	b.handles = b.handles[:0]
+}
+
+// Quiesce reclaims every limbo handle in the domain. The caller must be
+// quiescent: no participant pinned, no concurrent operations. Three forced
+// advances age every bucket past the reclamation horizon, then every
+// participant's buckets are flushed.
+func (d *Domain) Quiesce() {
+	for i := 0; i < epochs; i++ {
+		d.Advance()
+	}
+	d.mu.Lock()
+	parts := d.parts
+	d.mu.Unlock()
+	for _, p := range parts {
+		d.flushOwn(p)
+	}
+}
+
+// LimboCount reports the number of handles waiting in limbo across all
+// participants. Exact at quiescence, approximate while operations run;
+// tests use it to assert the reclamation bound.
+func (d *Domain) LimboCount() int {
+	d.mu.Lock()
+	parts := d.parts
+	d.mu.Unlock()
+	n := 0
+	for _, p := range parts {
+		for i := range p.limbo {
+			n += len(p.limbo[i].handles)
+		}
+	}
+	return n
+}
+
+// Participants reports how many records the domain has ever created
+// (pooled records are counted once).
+func (d *Domain) Participants() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.parts)
+}

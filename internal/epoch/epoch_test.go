@@ -1,0 +1,177 @@
+package epoch_test
+
+import (
+	"sync"
+	"testing"
+
+	"msqueue/internal/epoch"
+)
+
+// collector is a free-function recording every reclaimed handle; the
+// domain may invoke it from any participant holder, so it locks.
+type collector struct {
+	mu    sync.Mutex
+	freed map[uint64]int
+}
+
+func newCollector() *collector { return &collector{freed: make(map[uint64]int)} }
+
+func (c *collector) free(h uint64) {
+	c.mu.Lock()
+	c.freed[h]++
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.freed)
+}
+
+func TestDomainRetireWaitsTwoAdvances(t *testing.T) {
+	c := newCollector()
+	d := epoch.NewDomain(c.free, 100)
+
+	p := d.Pin()
+	d.Retire(p, 7)
+	d.Unpin(p)
+
+	if c.count() != 0 {
+		t.Fatalf("handle freed immediately, want deferral")
+	}
+	// One advance is not enough: a participant pinned at the retirement
+	// epoch could still be running.
+	d.Advance()
+	if p = d.Pin(); c.count() != 0 {
+		t.Fatalf("handle freed after one advance, want two")
+	}
+	d.Unpin(p)
+	d.Advance()
+	d.Pin() // flushOwn on the pooled participant reclaims
+	if c.count() != 1 || c.freed[7] != 1 {
+		t.Fatalf("freed = %v after two advances, want {7:1}", c.freed)
+	}
+}
+
+func TestDomainPinnedAtOlderEpochBlocksAdvance(t *testing.T) {
+	d := epoch.NewDomain(func(uint64) {}, 100)
+	p := d.Pin()
+	// p observed the current epoch, so one advance is allowed...
+	if !d.Advance() {
+		t.Fatal("advance refused with every pinned participant current")
+	}
+	// ...but now p is pinned one epoch behind, freezing the domain.
+	for i := 0; i < 3; i++ {
+		if d.Advance() {
+			t.Fatalf("advance %d succeeded past a pinned participant", i)
+		}
+	}
+	d.Unpin(p)
+	if !d.Advance() {
+		t.Fatal("advance refused after the stale pin was released")
+	}
+}
+
+func TestDomainStalledPinHaltsReclamationOnly(t *testing.T) {
+	// The epoch scheme's worst case: one participant pinned forever. Other
+	// participants keep retiring; nothing retired after the freeze may be
+	// freed, and everything must come back once the pin is dropped.
+	c := newCollector()
+	d := epoch.NewDomain(c.free, 4)
+
+	stalled := d.Pin()
+	d.Advance() // stalled is now one epoch behind: domain frozen
+
+	p := d.Pin()
+	for h := uint64(1); h <= 64; h++ {
+		d.Retire(p, h) // threshold crossings attempt advances; all must fail
+	}
+	d.Unpin(p)
+
+	if got := c.count(); got != 0 {
+		t.Fatalf("%d handles freed under a frozen epoch, want 0", got)
+	}
+	if got := d.LimboCount(); got != 64 {
+		t.Fatalf("LimboCount = %d, want all 64 in limbo", got)
+	}
+
+	d.Unpin(stalled)
+	d.Quiesce()
+	if got := c.count(); got != 64 {
+		t.Fatalf("freed %d after unpin+quiesce, want 64", got)
+	}
+	if got := d.LimboCount(); got != 0 {
+		t.Fatalf("LimboCount = %d after quiesce, want 0", got)
+	}
+}
+
+func TestDomainQuiesceFreesEverything(t *testing.T) {
+	c := newCollector()
+	d := epoch.NewDomain(c.free, 1000) // threshold never crossed
+	p := d.Pin()
+	for h := uint64(1); h <= 10; h++ {
+		d.Retire(p, h)
+	}
+	d.Unpin(p)
+	d.Quiesce()
+	if c.count() != 10 {
+		t.Fatalf("freed %d, want 10", c.count())
+	}
+	for h, n := range c.freed {
+		if n != 1 {
+			t.Fatalf("handle %d freed %d times", h, n)
+		}
+	}
+}
+
+func TestDomainParticipantPooling(t *testing.T) {
+	d := epoch.NewDomain(func(uint64) {}, 100)
+	p1 := d.Pin()
+	d.Unpin(p1)
+	if p2 := d.Pin(); p1 != p2 {
+		t.Fatal("unpinned participant was not reused")
+	}
+	if got := d.Participants(); got != 1 {
+		t.Fatalf("Participants = %d, want 1", got)
+	}
+}
+
+func TestDomainConcurrentStress(t *testing.T) {
+	// Handles are partitioned per goroutine; each pin/retire/unpin cycle
+	// races advances from every other worker. Every handle must be freed
+	// exactly once by the end.
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	c := newCollector()
+	d := epoch.NewDomain(c.free, 8)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h := uint64(w*perW + i + 1)
+				p := d.Pin()
+				d.Retire(p, h)
+				d.Unpin(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	d.Quiesce()
+
+	if got := c.count(); got != workers*perW {
+		t.Fatalf("freed %d distinct handles, want %d", got, workers*perW)
+	}
+	for h, n := range c.freed {
+		if n != 1 {
+			t.Fatalf("handle %d freed %d times", h, n)
+		}
+	}
+	if got := d.LimboCount(); got != 0 {
+		t.Fatalf("LimboCount = %d after quiesce, want 0", got)
+	}
+}

@@ -1,0 +1,349 @@
+package epoch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"msqueue/internal/arena"
+	"msqueue/internal/inject"
+	"msqueue/internal/metrics"
+	"msqueue/internal/pad"
+)
+
+// Pause points exposed by the epoch-based queue. The first two mark the
+// instants right after Pin: a process crash-stopped there holds the epoch
+// forever, the worst case for this reclamation scheme — reclamation stalls
+// domain-wide while the peers must keep completing (they do, by falling
+// back to allocation; the chaos suite proves it). The remaining points
+// mirror the paper's pseudo-code lines as in the other variants.
+const (
+	PointPinnedEnqueue inject.Point = "EP:pinned-enqueue"
+	PointPinnedDequeue inject.Point = "EP:pinned-dequeue"
+	PointBeforeLink    inject.Point = "EP-E9:before-link"
+	PointBeforeSwing   inject.Point = "EP-D12:before-swing-head"
+	PointBeforeRetire  inject.Point = "EP-D14:before-retire"
+)
+
+// spineLen bounds fallback growth: the node store can grow to at most
+// spineLen chunks, so a participant stalled while pinned lets the store
+// expand ~spineLen x capacity before enqueues finally refuse. The bound
+// exists to keep the pathological case a pathology, not a heap exhaustion.
+const spineLen = 64
+
+// Queue is the MS queue with epoch-based reclamation: Head, Tail and the
+// next links are plain (counter-free) uint64 handles, and ABA safety comes
+// from the pin/unpin protocol — a node reachable while a process is pinned
+// is not reused until that process has unpinned, so a CAS can never be
+// fooled by recycling. Compare core.MSTagged (per-word counters) and
+// hazard.Queue (per-dereference announcements): same algorithm, three
+// reclamation schemes.
+//
+// The queue is bounded by construction capacity in *live items* (TryEnqueue
+// refuses at the bound), but its node store is elastic: when the free list
+// is empty and the epoch cannot advance — a peer is stalled while pinned —
+// the store grows a fresh chunk instead of spinning, preserving
+// non-blocking progress at the price of memory. See the package comment.
+type Queue struct {
+	dom   *Domain
+	tr    inject.Tracer
+	probe *metrics.Probe
+
+	capacity   int
+	chunkLen   int // power of two
+	chunkShift uint
+
+	// spine holds the node chunks; chunks are published with an atomic
+	// store and never moved, so handle resolution is two dependent loads.
+	spine [spineLen]atomic.Pointer[[]epNode]
+
+	growMu  sync.Mutex
+	nchunks atomic.Int32
+
+	_    pad.Line
+	free atomic.Uint64 // tagged (counted) free-list top: allocator-internal
+	_    pad.Line
+	live atomic.Int64 // enqueued minus dequeued, enforces the capacity bound
+	_    pad.Line
+	head atomic.Uint64 // handle of the dummy node; uncounted
+	_    pad.Line
+	tail atomic.Uint64 // uncounted
+	_    pad.Line
+}
+
+// epNode is one slot: handles are index+1 across the spine, so handle 0 is
+// "null".
+type epNode struct {
+	value atomic.Uint64
+	next  atomic.Uint64 // successor handle, or 0; doubles as free-list link
+}
+
+// New returns an empty queue that accepts up to capacity concurrently live
+// items. The initial node store covers the capacity plus reclamation
+// slack; it grows only if reclamation stalls.
+func New(capacity int) *Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("epoch: capacity %d out of range", capacity))
+	}
+	chunkLen := 1
+	for chunkLen < capacity+64 {
+		chunkLen <<= 1
+	}
+	q := &Queue{capacity: capacity, chunkLen: chunkLen}
+	for q.chunkLen>>q.chunkShift > 1 {
+		q.chunkShift++
+	}
+	q.dom = NewDomain(q.release, 0)
+	chunk := make([]epNode, chunkLen)
+	q.spine[0].Store(&chunk)
+	q.nchunks.Store(1)
+	// Thread the free list: node i links to i+1.
+	for i := 0; i < chunkLen-1; i++ {
+		chunk[i].next.Store(uint64(i + 2))
+	}
+	q.free.Store(uint64(arena.Pack(0, 0)))
+
+	dummy, ok := q.alloc(nil)
+	if !ok {
+		panic("epoch: fresh store has no free node")
+	}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// SetTracer installs a fault-injection tracer. It must be called before
+// the queue is shared between goroutines.
+func (q *Queue) SetTracer(tr inject.Tracer) { q.tr = tr }
+
+// SetProbe installs a contention probe: the MS retry sites plus the epoch
+// domain's pin/advance/flush sites. Call before sharing the queue.
+func (q *Queue) SetProbe(p *metrics.Probe) {
+	q.probe = p
+	q.dom.SetProbe(p)
+}
+
+// Domain exposes the reclamation domain for tests and metrics.
+func (q *Queue) Domain() *Domain { return q.dom }
+
+// Cap returns the live-item capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// node resolves a non-zero handle.
+func (q *Queue) node(h uint64) *epNode {
+	idx := h - 1
+	chunk := q.spine[idx>>q.chunkShift].Load()
+	return &(*chunk)[idx&uint64(q.chunkLen-1)]
+}
+
+// alloc pops a handle from the free list (counted Treiber pop — the
+// allocator defends itself with a tag; every word the *algorithm* CASes is
+// uncounted). On exhaustion it attempts an epoch advance to recover limbo
+// nodes and, failing that, grows the store: a stalled pinned peer must
+// cost memory, not progress. p may be nil during construction.
+func (q *Queue) alloc(p *Participant) (uint64, bool) {
+	for {
+		if h, ok := q.popFree(); ok {
+			return h, true
+		}
+		// Free list empty: try to reclaim, then re-check, then grow.
+		if p != nil && q.dom.Advance() {
+			q.dom.flushOwn(p)
+			continue
+		}
+		if h, ok := q.popFree(); ok {
+			return h, true
+		}
+		if h, ok := q.grow(); ok {
+			return h, true
+		}
+		return 0, false
+	}
+}
+
+// popFree is the counted Treiber pop.
+func (q *Queue) popFree() (uint64, bool) {
+	for {
+		top := arena.Ref(q.free.Load())
+		if top.IsNil() {
+			return 0, false
+		}
+		next := q.node(uint64(top.Index()) + 1).next.Load()
+		if q.free.CompareAndSwap(uint64(top), uint64(arena.Pack(int32(next)-1, top.Count()+1))) {
+			h := uint64(top.Index()) + 1
+			q.node(h).next.Store(0)
+			return h, true
+		}
+	}
+}
+
+// release pushes a reclaimed handle back on the free list; it is the
+// domain's free callback, invoked only when the epoch rule proves no
+// pinned participant can hold h.
+func (q *Queue) release(h uint64) {
+	for {
+		top := arena.Ref(q.free.Load())
+		q.node(h).next.Store(uint64(top.Index()) + 1)
+		if q.free.CompareAndSwap(uint64(top), uint64(arena.Pack(int32(h)-1, top.Count()+1))) {
+			return
+		}
+	}
+}
+
+// grow appends one chunk to the spine, splices all but one of its nodes
+// onto the free list and returns the remaining one. It reports false when
+// the spine is exhausted (the documented pathological bound).
+func (q *Queue) grow() (uint64, bool) {
+	q.growMu.Lock()
+	defer q.growMu.Unlock()
+	// Another grower may have raced us here; prefer its nodes.
+	if h, ok := q.popFree(); ok {
+		return h, true
+	}
+	n := int(q.nchunks.Load())
+	if n == spineLen {
+		return 0, false
+	}
+	chunk := make([]epNode, q.chunkLen)
+	base := uint64(n * q.chunkLen) // handle of chunk[0] is base+1
+	for i := 0; i < q.chunkLen-1; i++ {
+		chunk[i].next.Store(base + uint64(i) + 2)
+	}
+	q.spine[n].Store(&chunk)
+	q.nchunks.Add(1)
+	// Splice chunk[0..len-2] onto the free list in one counted CAS; keep
+	// the last node for the caller.
+	first, last := base+1, base+uint64(q.chunkLen)-1
+	for {
+		top := arena.Ref(q.free.Load())
+		q.node(last).next.Store(uint64(top.Index()) + 1)
+		if q.free.CompareAndSwap(uint64(top), uint64(arena.Pack(int32(first)-1, top.Count()+1))) {
+			break
+		}
+	}
+	return base + uint64(q.chunkLen), true
+}
+
+// Enqueue appends v, spinning if the queue is at capacity. Use TryEnqueue
+// to observe the bound instead.
+func (q *Queue) Enqueue(v uint64) {
+	for !q.TryEnqueue(v) {
+	}
+}
+
+// TryEnqueue appends v and reports whether the queue was below its
+// live-item capacity. Unlike the arena-backed variants the refusal point
+// is the *item* bound, not storage exhaustion: storage is elastic so that
+// stalled reclamation cannot block progress.
+func (q *Queue) TryEnqueue(v uint64) bool {
+	for {
+		n := q.live.Load()
+		if n >= int64(q.capacity) {
+			return false
+		}
+		if q.live.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	p := q.dom.Pin()
+	defer q.dom.Unpin(p)
+	q.at(PointPinnedEnqueue)
+	h, ok := q.alloc(p)
+	if !ok {
+		// Spine exhausted under a stalled pinned peer: give the
+		// reservation back and refuse. Only reachable after the store has
+		// grown spineLen x capacity — a deliberate memory ceiling.
+		q.live.Add(-1)
+		return false
+	}
+	q.node(h).value.Store(v)
+	for {
+		t := q.tail.Load()
+		// Pinned: t cannot be recycled under us, so its next field is safe
+		// to read and the CASes below cannot be ABA victims.
+		next := q.node(t).next.Load()
+		if q.tail.Load() != t { // E7: consistent?
+			q.probe.Add(metrics.EnqueueInconsistent, 1)
+			continue
+		}
+		if next != 0 { // E12: tail lagging; help swing it
+			q.probe.Add(metrics.EnqueueTailSwing, 1)
+			q.tail.CompareAndSwap(t, next)
+			continue
+		}
+		q.at(PointBeforeLink)
+		if q.node(t).next.CompareAndSwap(0, h) { // E9
+			q.tail.CompareAndSwap(t, h) // E13
+			return true
+		}
+		q.probe.Add(metrics.EnqueueLinkCAS, 1)
+	}
+}
+
+// Dequeue removes and returns the head value, or reports false when empty.
+func (q *Queue) Dequeue() (uint64, bool) {
+	p := q.dom.Pin()
+	defer q.dom.Unpin(p)
+	q.at(PointPinnedDequeue)
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		next := q.node(h).next.Load()
+		if q.head.Load() != h { // D5: consistent?
+			q.probe.Add(metrics.DequeueInconsistent, 1)
+			continue
+		}
+		if h == t {
+			if next == 0 {
+				return 0, false // D8: empty
+			}
+			q.probe.Add(metrics.DequeueTailSwing, 1)
+			q.tail.CompareAndSwap(t, next) // D9: tail falling behind
+			continue
+		}
+		// D11: read the value before the CAS. Under epochs the read would
+		// be safe either way (next is not recycled while we are pinned);
+		// keeping the paper's order keeps the three variants comparable.
+		v := q.node(next).value.Load()
+		q.at(PointBeforeSwing)
+		if q.head.CompareAndSwap(h, next) { // D12
+			q.at(PointBeforeRetire)
+			// D14: the old dummy is unreachable (Tail never lags Head);
+			// limbo it until the epoch rule proves it unheld.
+			q.dom.Retire(p, h)
+			q.live.Add(-1)
+			return v, true
+		}
+		q.probe.Add(metrics.DequeueHeadCAS, 1)
+	}
+}
+
+// Quiesce reclaims every limbo node now; callers must be quiescent. Tests
+// use it as the Settle hook of the bounded suites.
+func (q *Queue) Quiesce() { q.dom.Quiesce() }
+
+// Allocated reports the total number of nodes the store holds — the
+// fallback-growth observable: it exceeds the initial chunk only if
+// reclamation stalled while the free list ran dry.
+func (q *Queue) Allocated() int { return int(q.nchunks.Load()) * q.chunkLen }
+
+// InUse reports the number of nodes not on the free list (live + limbo +
+// dummy), by walking the free list; callers must be quiescent.
+func (q *Queue) InUse() int {
+	onFree := 0
+	for top := arena.Ref(q.free.Load()); !top.IsNil(); {
+		onFree++
+		next := q.node(uint64(top.Index()) + 1).next.Load()
+		if next == 0 {
+			break
+		}
+		top = arena.Pack(int32(next)-1, 0)
+	}
+	return q.Allocated() - onFree
+}
+
+func (q *Queue) at(p inject.Point) {
+	if q.tr != nil {
+		q.tr.At(p)
+	}
+}

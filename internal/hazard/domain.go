@@ -85,11 +85,18 @@ func (d *Domain) Acquire() *Record {
 	return r
 }
 
-// Release returns the record. All hazard slots are cleared; any retired
-// handles stay with the record and are reclaimed by later scans.
+// Release returns the record. All hazard slots are cleared, and a
+// best-effort scan reclaims whatever the retired list holds before the
+// record goes idle: a parked record's handles are otherwise stranded until
+// some future holder re-crosses the scan threshold, which for a bursty
+// workload can be never (still-protected handles do stay with the record —
+// Quiesce sweeps those once the protections are gone).
 func (d *Domain) Release(r *Record) {
 	for i := range r.hp {
 		r.hp[i].Store(0)
+	}
+	if len(r.retired) > 0 {
+		d.scan(r)
 	}
 	d.idle.Push(r)
 }
@@ -120,6 +127,22 @@ func (d *Domain) Retire(r *Record, h uint64) {
 // unprotected. It is intended for quiescing (tests, shutdown).
 func (d *Domain) Flush(r *Record) {
 	d.scan(r)
+}
+
+// Quiesce scans every record ever created, idle or held, reclaiming
+// everything no hazard slot protects. The caller must be quiescent: no
+// goroutine may be between Protect and Clear, and no record may be in
+// concurrent use (records are single-writer, and Quiesce writes to all of
+// their retired lists).
+func (d *Domain) Quiesce() {
+	d.mu.Lock()
+	records := d.records
+	d.mu.Unlock()
+	for _, r := range records {
+		if len(r.retired) > 0 {
+			d.scan(r)
+		}
+	}
 }
 
 // scan is the reclamation step: snapshot every hazard slot of every record,

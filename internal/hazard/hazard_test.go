@@ -251,3 +251,57 @@ func TestStalledReaderPinsBoundedMemory(t *testing.T) {
 		t.Fatalf("InUse after release+quiesce = %d, want <= 2", got)
 	}
 }
+
+// TestReleaseScansRetired is the regression test for the stranded-handles
+// bug: a record released below the scan threshold parked its whole retired
+// list on the idle stack, deferring reclamation until some future holder
+// of that same record re-crossed the threshold — for a bursty workload,
+// potentially never. Release must run a best-effort scan so an idle record
+// carries only handles that were still protected at release time.
+func TestReleaseScansRetired(t *testing.T) {
+	var freed int
+	d := hazard.NewDomain(func(uint64) { freed++ }, 100) // threshold never crossed
+	r := d.Acquire()
+	for h := uint64(1); h <= 5; h++ {
+		d.Retire(r, h)
+	}
+	if freed != 0 {
+		t.Fatalf("freed %d before release, want 0 (threshold is 100)", freed)
+	}
+	d.Release(r)
+	if freed != 5 {
+		t.Fatalf("freed %d after release, want 5: retired handles stranded on the idle record", freed)
+	}
+	if got := r.RetiredCount(); got != 0 {
+		t.Fatalf("RetiredCount after release = %d, want 0", got)
+	}
+}
+
+// TestQuiesceFlushesIdleRecords covers the case Release's best-effort scan
+// cannot: a handle still protected at release time stays with the idle
+// record, and once the protection is gone only a domain-wide sweep can
+// reach it. Domain.Quiesce must reclaim from every record, idle included.
+func TestQuiesceFlushesIdleRecords(t *testing.T) {
+	var freed []uint64
+	d := hazard.NewDomain(func(h uint64) { freed = append(freed, h) }, 100)
+	a := d.Acquire()
+	b := d.Acquire()
+
+	b.Protect(0, 7)
+	d.Retire(a, 7)
+	d.Release(a) // scans, but 7 is protected: it stays with the idle record
+	if len(freed) != 0 {
+		t.Fatalf("freed %v at release, want nothing: 7 was protected", freed)
+	}
+	b.Clear(0)
+	d.Release(b)
+
+	// 7 now sits on an idle record with no protection left anywhere.
+	d.Quiesce()
+	if len(freed) != 1 || freed[0] != 7 {
+		t.Fatalf("freed %v after quiesce, want [7]", freed)
+	}
+	if got := a.RetiredCount(); got != 0 {
+		t.Fatalf("RetiredCount after quiesce = %d, want 0", got)
+	}
+}

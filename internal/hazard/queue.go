@@ -201,16 +201,7 @@ func (q *Queue) Dequeue() (uint64, bool) {
 // Quiesce reclaims everything reclaimable now; callers must be quiescent.
 // Tests use it to assert the bounded-memory property.
 func (q *Queue) Quiesce() {
-	rec := q.dom.Acquire()
-	q.dom.Flush(rec)
-	q.dom.Release(rec)
-	// Flush the retired lists parked on idle records too.
-	q.dom.mu.Lock()
-	records := q.dom.records
-	q.dom.mu.Unlock()
-	for _, r := range records {
-		q.dom.scan(r)
-	}
+	q.dom.Quiesce()
 }
 
 // InUse reports the number of nodes not on the free list (live + retired).

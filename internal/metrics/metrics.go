@@ -107,9 +107,20 @@ const (
 	WireRetry
 	// WireControl counts control-plane frames served (STATS and PING).
 	WireControl
+	// EpochPin counts critical-section entries into an epoch reclamation
+	// domain (internal/epoch): one per queue operation on ms-epoch.
+	EpochPin
+	// EpochAdvance counts successful global-epoch advances. A rate near
+	// zero while EpochPin climbs means a pinned participant is stalling
+	// reclamation (the fallback-allocation scenario).
+	EpochAdvance
+	// EpochFlush counts limbo handles handed back to the free function once
+	// the epoch rule proved them unreachable.
+	EpochFlush
 
-	// NumSites is the number of instrumented sites.
-	NumSites = int(WireControl) + 1
+	// NumSites is the number of instrumented sites. The epoch sites sit
+	// after the wire sites so the Retries() range stays contiguous.
+	NumSites = int(EpochFlush) + 1
 )
 
 // String returns the report label of the site.
@@ -151,6 +162,12 @@ func (s Site) String() string {
 		return "wire RETRY sent (backpressure)"
 	case WireControl:
 		return "wire control frames (STATS/PING)"
+	case EpochPin:
+		return "epoch pins"
+	case EpochAdvance:
+		return "epoch advances"
+	case EpochFlush:
+		return "epoch limbo handles flushed"
 	default:
 		return fmt.Sprintf("Site(%d)", uint8(s))
 	}

@@ -208,15 +208,14 @@ func (s *Server) admit(conn net.Conn) bool {
 // Connections handed directly to ServeConn also count against MaxConns.
 func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
-	if _, ok := s.conns[conn]; !ok {
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-	}
+	_, registered := s.conns[conn]
 	s.mu.Unlock()
+	if !registered && !s.admit(conn) {
+		// Direct connections go through the same admission as accepted
+		// ones: the doc comment's MaxConns promise, and an ERR refusal
+		// instead of a silent close.
+		return
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -297,7 +296,13 @@ func (s *Server) handle(c *connState, f wire.Frame) (outMsg, bool) {
 		if n == 0 && len(vs) > 0 {
 			return outMsg{frame: s.refuse(c, f.ID)}, false
 		}
-		c.fulls = 0
+		// Reset the backoff hint only on full acceptance: a partial batch
+		// (n < len(vs)) proves the queue is full right now, and collapsing
+		// the escalation would invite the client straight back into the
+		// refusal it is about to receive.
+		if n == len(vs) && n > 0 {
+			c.fulls = 0
+		}
 		return outMsg{frame: wire.AckCountFrame(f.ID, n)}, false
 
 	case wire.Deq:

@@ -424,3 +424,146 @@ func TestProtocolErrorCloses(t *testing.T) {
 		t.Fatalf("connection after ERR: read = %v, want closed", err)
 	}
 }
+
+// TestHintSurvivesPartialBatch is the regression test for the escalation
+// reset bug: a *partially* accepted ENQ_BATCH proves the queue is full at
+// this instant, so it must not collapse the per-connection backoff hint
+// the way a fully accepted enqueue does. Before the fix, `handle` reset
+// c.fulls on any non-refused batch, so the sequence below saw the hint
+// fall back to its base value while refusals were still being issued.
+func TestHintSurvivesPartialBatch(t *testing.T) {
+	const (
+		cap  = 4
+		base = time.Millisecond
+	)
+	s := New(Config{Queue: ring.New[int](cap), RetryHint: base})
+	c := pipeServer(t, s)
+
+	for i := int64(0); i < cap; i++ {
+		if resp, _ := c.enq(i); resp.Type != wire.Ack {
+			t.Fatalf("fill enq %d = %v, want ACK", i, resp.Type)
+		}
+	}
+	refuse := func(want time.Duration) {
+		t.Helper()
+		resp, err := c.enq(99)
+		if err != nil || resp.Type != wire.Retry {
+			t.Fatalf("enq on full = %v, %v; want RETRY", resp.Type, err)
+		}
+		_, hint, err := wire.DecodeRetry(resp.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hint != want {
+			t.Fatalf("retry hint = %v, want %v", hint, want)
+		}
+	}
+
+	refuse(base)      // fulls 0 -> 1
+	refuse(base << 1) // fulls 1 -> 2
+
+	// Free one slot, then offer two: a partial accept of exactly one.
+	if resp, _ := c.deq(); resp.Type != wire.Value {
+		t.Fatal("dequeue failed")
+	}
+	resp, err := c.roundTrip(wire.EnqBatchFrame(c.nextID(), []int64{10, 11}))
+	if err != nil || resp.Type != wire.Ack {
+		t.Fatalf("partial batch = %v, %v; want ACK", resp.Type, err)
+	}
+	if n, _ := wire.DecodeCount(resp.Payload); n != 1 {
+		t.Fatalf("partial batch accepted %d, want 1", n)
+	}
+
+	// The queue is full again and was never observed non-full: the
+	// escalation must continue where it left off, not restart.
+	refuse(base << 2) // fails pre-fix: the partial accept reset fulls
+
+	// An empty batch is vacuously "accepted" and proves nothing either.
+	resp, err = c.roundTrip(wire.EnqBatchFrame(c.nextID(), nil))
+	if err != nil || resp.Type != wire.Ack {
+		t.Fatalf("empty batch = %v, %v; want ACK", resp.Type, err)
+	}
+	refuse(base << 3)
+
+	// A *fully* accepted batch is a genuine non-full observation: reset.
+	for i := 0; i < 2; i++ {
+		if resp, _ := c.deq(); resp.Type != wire.Value {
+			t.Fatal("drain dequeue failed")
+		}
+	}
+	resp, err = c.roundTrip(wire.EnqBatchFrame(c.nextID(), []int64{20, 21}))
+	if err != nil || resp.Type != wire.Ack {
+		t.Fatalf("full batch = %v, %v; want ACK", resp.Type, err)
+	}
+	if n, _ := wire.DecodeCount(resp.Payload); n != 2 {
+		t.Fatalf("full batch accepted %d, want 2", n)
+	}
+	refuse(base) // back to base after the genuine acceptance
+}
+
+// TestServeConnEnforcesMaxConns is the regression test for the admission
+// bypass: connections handed directly to ServeConn were registered in
+// s.conns without ever being checked against Config.MaxConns, contradicting
+// ServeConn's own doc comment. They must now go through the same ERR-refusal
+// admission as accepted connections.
+func TestServeConnEnforcesMaxConns(t *testing.T) {
+	s := New(Config{Queue: core.NewMS[int](), MaxConns: 1, Logf: t.Logf})
+
+	c1 := pipeServer(t, s)
+	if resp, err := c1.enq(1); err != nil || resp.Type != wire.Ack {
+		t.Fatalf("first conn enq = %v, %v; want ACK", resp, err)
+	}
+
+	// Second direct connection: over the limit, must be refused with an
+	// ERR frame (id 0, no request read) and closed.
+	client2, srv2 := net.Pipe()
+	defer client2.Close()
+	done := make(chan struct{})
+	go func() { s.ServeConn(srv2); close(done) }()
+	// Pre-fix, ServeConn admits the connection and sits waiting for a
+	// request, so no frame ever arrives; the deadline turns that silent
+	// admission into a fast failure.
+	client2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	f, _, err := wire.Read(client2, nil)
+	if err != nil {
+		t.Fatalf("over-limit ServeConn sent no frame: %v (pre-fix: it serves silently)", err)
+	}
+	client2.SetReadDeadline(time.Time{})
+	if f.Type != wire.Err || f.ID != 0 {
+		t.Fatalf("over-limit ServeConn frame = %v id=%d, want ERR id=0", f.Type, f.ID)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("refused ServeConn did not return")
+	}
+	if _, _, err := wire.Read(client2, nil); err == nil {
+		t.Fatal("refused connection stayed open after ERR")
+	}
+
+	// The admitted connection is unaffected by the refusal.
+	if resp, err := c1.deq(); err != nil || resp.Type != wire.Value {
+		t.Fatalf("first conn deq after refusal = %v, %v; want VALUE", resp, err)
+	}
+
+	// Closing the admitted connection releases its slot for a later direct
+	// connection; the release is asynchronous, so poll the registry.
+	c1.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("closed connection never left the registry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c3 := pipeServer(t, s)
+	if resp, err := c3.enq(2); err != nil || resp.Type != wire.Ack {
+		t.Fatalf("direct conn after slot release = %v, %v; want ACK", resp, err)
+	}
+}
