@@ -31,10 +31,16 @@
 //
 // The global epoch e only advances to e+1 when every pinned participant has
 // observed e. Hence while any participant is pinned at e, the global epoch
-// is at most e+1. A handle retired during epoch r was unlinked from the
-// structure while the epoch was r, so only participants pinned at r or
-// earlier can still hold it; once the global epoch reaches r+2, every such
-// participant has unpinned (the advance r+1 -> r+2 required it), and the
+// is at most e+1. A retired handle is keyed by the *global* epoch g read at
+// retire time, after the unlink (not by the retirer's pin epoch — a reader
+// pinned one epoch past the retirer's pin can hold the handle without
+// blocking the advance that would make a pin-keyed bucket freeable).
+// Every participant that can still hold the handle read its reference
+// while the node was reachable, hence before the unlink, hence before g
+// was observed — and since the epoch is monotone, that holder is pinned at
+// g or earlier. The advance g -> g+1 requires everyone pinned below g to
+// unpin, and the advance g+1 -> g+2 requires everyone pinned at g to
+// unpin; so once the global epoch reaches g+2 no holder remains and the
 // handle is safe to reuse. Three limbo buckets per participant — one per
 // epoch residue mod 3 — are exactly enough to keep "retired this epoch",
 // "retired last epoch" and "safe to free" apart.
@@ -95,8 +101,8 @@ type Participant struct {
 	limbo [epochs]bucket
 }
 
-// bucket is one limbo generation: the handles retired while the
-// participant was pinned at .epoch.
+// bucket is one limbo generation: the handles this participant retired
+// while the global epoch was .epoch.
 type bucket struct {
 	epoch   uint64
 	handles []uint64
@@ -136,8 +142,11 @@ func (d *Domain) Pin() *Participant {
 		d.mu.Unlock()
 	}
 	// Publish-then-revalidate: if the global epoch moved between the load
-	// and the store, the stale pin blocks further advances, so one retry
-	// always stabilizes (the loop runs at most twice).
+	// and the store, retry with the newer epoch. Overwriting the stale pin
+	// briefly lifts its block, so another advance can slip in before the
+	// revalidation and force a further iteration; but every failed check
+	// means the domain as a whole advanced an epoch, so the loop is
+	// non-blocking and in practice settles within an iteration or two.
 	for {
 		e := d.global.Load()
 		p.state.Store(e<<1 | 1)
@@ -161,12 +170,17 @@ func (d *Domain) Unpin(p *Participant) {
 // pinned on p and must have unlinked h from the shared structure already.
 // Crossing the flush threshold triggers an epoch-advance attempt.
 func (d *Domain) Retire(p *Participant, h uint64) {
-	e := p.state.Load() >> 1
+	// Key the bucket by the global epoch observed *after* the unlink, not
+	// by p's pin epoch: the global may already be one past our pin, and a
+	// reader pinned there can hold h without blocking the advance that
+	// would free a pin-keyed bucket (see the package comment).
+	e := d.global.Load()
 	b := &p.limbo[e%epochs]
 	if b.epoch != e && len(b.handles) > 0 {
-		// The bucket holds garbage from e-3 or older (same residue mod 3),
-		// and the global epoch is >= e, so that generation is always
-		// reclaimable: free it before reusing the bucket.
+		// Bucket epochs are global-epoch observations, so b.epoch <= e;
+		// same residue mod 3 makes it e-3 or older, and e-3+2 < e <= the
+		// current global epoch, so that generation is always reclaimable:
+		// free it before reusing the bucket.
 		d.freeBucket(b)
 	}
 	b.epoch = e

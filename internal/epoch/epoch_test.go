@@ -53,6 +53,47 @@ func TestDomainRetireWaitsTwoAdvances(t *testing.T) {
 	}
 }
 
+// TestDomainRetireKeyedByGlobalEpoch pins the interleaving that breaks
+// pin-epoch bucket keying: a remover pinned at epoch 0 does not block the
+// advance to 1, a reader then pins at 1 and can hold a reference to the
+// node the remover is about to unlink. Keyed by the remover's pin epoch
+// the bucket becomes freeable at global 2 — which the still-pinned reader
+// does not block — freeing a held handle. Keyed by the global epoch at
+// retire time (1), the reader's pin blocks the 2 -> 3 advance and the
+// handle survives until the reader unpins.
+func TestDomainRetireKeyedByGlobalEpoch(t *testing.T) {
+	c := newCollector()
+	d := epoch.NewDomain(c.free, 1000) // threshold never crossed
+
+	remover := d.Pin() // pinned at epoch 0
+	if !d.Advance() {
+		t.Fatal("advance refused with every pinned participant current")
+	}
+	reader := d.Pin()    // pinned at epoch 1; may hold the handle
+	d.Retire(remover, 7) // unlinked and retired while global == 1
+	d.Unpin(remover)
+
+	if !d.Advance() { // 1 -> 2: reader is current, allowed
+		t.Fatal("advance refused with every pinned participant current")
+	}
+	if d.Advance() { // 2 -> 3 must be blocked by the reader's pin
+		t.Fatal("advance succeeded past a participant pinned one epoch back")
+	}
+	// Re-pin the pooled remover record to force its opportunistic flush:
+	// the handle must still be in limbo while its possible holder is pinned.
+	p := d.Pin()
+	d.Unpin(p)
+	if c.count() != 0 {
+		t.Fatalf("freed = %v while a possible holder is still pinned, want none", c.freed)
+	}
+
+	d.Unpin(reader)
+	d.Quiesce()
+	if c.count() != 1 || c.freed[7] != 1 {
+		t.Fatalf("freed = %v after the holder unpinned, want {7:1}", c.freed)
+	}
+}
+
 func TestDomainPinnedAtOlderEpochBlocksAdvance(t *testing.T) {
 	d := epoch.NewDomain(func(uint64) {}, 100)
 	p := d.Pin()
