@@ -4,13 +4,24 @@
 //	qmodel -algo ms            # invariants + linearizability + non-blocking
 //	qmodel -algo stone         # finds the published races automatically
 //	qmodel -algo mc            # finds the blocking window automatically
+//	qmodel -algo epoch         # epoch-reclamation pin/advance protocol
+//	qmodel -algo ring          # the SCQ slot-cycle protocol
 //	qmodel -algo all           # the full suite
+//	qmodel -algo all -dpor     # same verdicts, partial-order-reduced
 //
 // Each algorithm runs a set of small workloads; every interleaving (paths
 // mode) or every reachable state (graph mode) is checked. The expected
 // verdicts mirror the paper: the MS queue is clean everywhere, Stone's
 // queue is non-linearizable and loses items through the counter-less ABA,
 // and Mellor-Crummey's queue blocks dequeuers behind a stalled enqueuer.
+// The epoch and ring machines extend the suite past the paper to the
+// repository's reclamation and bounded-queue layers, including the
+// pin-keyed limbo variant (the PR-7 bug) as a deliberately dirty specimen.
+//
+// -dpor switches paths-mode scenarios to dynamic partial-order reduction:
+// only interleavings that differ in the order of conflicting events are
+// explored, typically orders of magnitude fewer, with identical verdicts
+// (graph-mode scenarios are already state-deduplicated and run unchanged).
 package main
 
 import (
@@ -59,6 +70,15 @@ func scenarios(algo explore.Algo) []scenario {
 	enqVsDeq := [][]explore.OpSpec{
 		{explore.Enq(1)},
 		{explore.Deq()},
+	}
+	// stalePin is the epoch-keying witness workload: three enqueues feed
+	// three retires, the first advancing the global epoch past a pinned
+	// peer, so a retire under the stale pin lands in a limbo bucket whose
+	// key separates the two keying policies (see the epoch regression
+	// tests in internal/explore).
+	stalePin := [][]explore.OpSpec{
+		{explore.Deq(), explore.Deq()},
+		{explore.Enq(1), explore.Enq(2), explore.Enq(3), explore.Deq(), explore.Deq()},
 	}
 
 	switch algo {
@@ -154,6 +174,64 @@ func scenarios(algo explore.Algo) []scenario {
 				},
 			},
 		}
+	case explore.AlgoEpoch:
+		return []scenario{
+			{
+				name: "epoch/paths/enq-vs-deq", expect: "clean",
+				summary: "pin/revalidate + retire-time keying: nothing freed while held",
+				cfg: explore.Config{
+					Algo: explore.AlgoEpoch, Scripts: enqVsDeq, ArenaSize: 3,
+					CheckLedger: explore.CheckEpochHeld,
+				},
+			},
+			{
+				name: "epoch/graph/stale-pin-window", expect: "clean",
+				summary: "three retires across an epoch advance; limbo horizon holds in every state",
+				cfg: explore.Config{
+					Algo: explore.AlgoEpoch, Mode: explore.ModeGraph,
+					Scripts:     stalePin,
+					ArenaSize:   5,
+					CheckLedger: explore.CheckEpochHeld,
+				},
+			},
+		}
+	case explore.AlgoEpochPinKeyed:
+		return []scenario{
+			{
+				name: "epoch-pinkeyed/graph/stale-pin", expect: "races",
+				summary: "limbo keyed by pin epoch frees a node a later pin still holds (the PR-7 bug)",
+				cfg: explore.Config{
+					Algo: explore.AlgoEpochPinKeyed, Mode: explore.ModeGraph,
+					Scripts:     stalePin,
+					ArenaSize:   5,
+					CheckLedger: explore.CheckEpochHeld,
+				},
+			},
+		}
+	case explore.AlgoRing:
+		return []scenario{
+			{
+				name: "ring/paths/enq-vs-deq", expect: "clean",
+				summary: "slot-cycle CAS + threshold emptiness: linearizable, never blocks",
+				cfg: explore.Config{
+					Algo: explore.AlgoRing, Scripts: enqVsDeq, ArenaSize: 1,
+					CheckInvariants: explore.CheckRingInvariants,
+				},
+			},
+			{
+				name: "ring/paths/lag-and-catchup", expect: "clean",
+				summary: "a 2-slot ring forces the lag-advance and tail catch-up CASes; still clean",
+				cfg: explore.Config{
+					Algo: explore.AlgoRing, RingOrder: 1,
+					Scripts: [][]explore.OpSpec{
+						{explore.Enq(1), explore.Deq()},
+						{explore.Deq()},
+					},
+					ArenaSize:       1,
+					CheckInvariants: explore.CheckRingInvariants,
+				},
+			},
+		}
 	case explore.AlgoTwoLock:
 		return []scenario{
 			{
@@ -192,7 +270,8 @@ func scenarios(algo explore.Algo) []scenario {
 
 func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("qmodel", flag.ContinueOnError)
-	algoFlag := fs.String("algo", "all", `algorithm to model-check: "ms", "two-lock", "valois", "stone", "mc" or "all"`)
+	algoFlag := fs.String("algo", "all", `algorithm to model-check: "ms", "two-lock", "valois", "stone", "mc", "epoch", "epoch-pinkeyed", "ring" or "all"`)
+	dpor := fs.Bool("dpor", false, "explore paths mode with dynamic partial-order reduction (same verdicts, far fewer paths)")
 	verbose := fs.Bool("v", false, "print every violation found")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -201,7 +280,11 @@ func run(args []string) (int, error) {
 	var algos []explore.Algo
 	switch *algoFlag {
 	case "all":
-		algos = []explore.Algo{explore.AlgoMS, explore.AlgoTwoLock, explore.AlgoValois, explore.AlgoStone, explore.AlgoMC}
+		algos = []explore.Algo{
+			explore.AlgoMS, explore.AlgoTwoLock, explore.AlgoValois,
+			explore.AlgoStone, explore.AlgoMC,
+			explore.AlgoEpoch, explore.AlgoEpochPinKeyed, explore.AlgoRing,
+		}
 	case "ms":
 		algos = []explore.Algo{explore.AlgoMS}
 	case "two-lock":
@@ -212,6 +295,12 @@ func run(args []string) (int, error) {
 		algos = []explore.Algo{explore.AlgoStone}
 	case "mc":
 		algos = []explore.Algo{explore.AlgoMC}
+	case "epoch":
+		algos = []explore.Algo{explore.AlgoEpoch}
+	case "epoch-pinkeyed":
+		algos = []explore.Algo{explore.AlgoEpochPinKeyed}
+	case "ring":
+		algos = []explore.Algo{explore.AlgoRing}
 	default:
 		return 1, fmt.Errorf("unknown algorithm %q", *algoFlag)
 	}
@@ -219,7 +308,11 @@ func run(args []string) (int, error) {
 	exitCode := 0
 	for _, algo := range algos {
 		for _, sc := range scenarios(algo) {
-			res, err := explore.Run(sc.cfg)
+			cfg := sc.cfg
+			if *dpor && cfg.Mode != explore.ModeGraph {
+				cfg.DPOR = true
+			}
+			res, err := explore.Run(cfg)
 			if err != nil {
 				return 1, err
 			}
@@ -228,8 +321,11 @@ func run(args []string) (int, error) {
 				exitCode = 2
 			}
 			mode := "paths"
-			if sc.cfg.Mode == explore.ModeGraph {
+			switch {
+			case cfg.Mode == explore.ModeGraph:
 				mode = "states"
+			case cfg.DPOR:
+				mode = "reduced paths"
 			}
 			fmt.Printf("%-7s %-28s %9d %s, %8d events, parked=%d blocked=%d violations=%d — %s\n",
 				verdict, sc.name, res.Paths, mode, res.Events, res.Parked, res.Blocked, len(res.Violations), sc.summary)

@@ -274,9 +274,20 @@ func CrashAt(e Entry, p inject.Point, nth int, cfg Config) PointResult {
 	cfg = cfg.withDefaults()
 	q := e.New(cfg.Capacity)
 	gate := inject.NewNthGate(p, nth)
-	q.(inject.Traceable).SetTracer(gate)
 
 	var ops atomic.Int64
+	// The post-crash progress baseline is sampled by the victim itself at
+	// the instant it parks. Sampling it from the monitor goroutine (after
+	// <-gate.Entered()) is a verdict race: on a starved single-core runner
+	// the surviving peers can complete thousands of pairs — or, for an
+	// algorithm whose crashed victim pins memory (Valois's counted head
+	// reference transitively pins every later node), *all the pairs the
+	// arena will ever allow* — before the monitor wakes, and the late
+	// baseline then hides that progress and misreports a stall.
+	var base atomic.Int64
+	gate.OnStall = func() { base.Store(ops.Load()) }
+	q.(inject.Traceable).SetTracer(gate)
+
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Peers; w++ {
@@ -316,18 +327,18 @@ func CrashAt(e Entry, p inject.Point, nth int, cfg Config) PointResult {
 		return finish() // point unreached concurrently: vacuous
 	}
 
-	// The victim is parked. Watch the group counter: quota ⇒ completed,
-	// a frozen window ⇒ stalled, budget exhaustion ⇒ neither.
-	base := ops.Load()
-	last, lastMove := base, time.Now()
+	// The victim is parked. Watch the group counter against the baseline it
+	// recorded on its way in: quota ⇒ completed, a frozen window ⇒ stalled,
+	// budget exhaustion ⇒ neither.
+	crashBase := base.Load()
+	last, lastMove := ops.Load(), time.Now()
 	deadline := start.Add(cfg.Budget)
 	for {
-		time.Sleep(2 * time.Millisecond)
 		cur := ops.Load()
 		if cur != last {
 			last, lastMove = cur, time.Now()
 		}
-		if cur-base >= int64(cfg.Ops) {
+		if cur-crashBase >= int64(cfg.Ops) {
 			res.Completed = true
 			break
 		}
@@ -338,8 +349,9 @@ func CrashAt(e Entry, p inject.Point, nth int, cfg Config) PointResult {
 		if time.Now().After(deadline) {
 			break
 		}
+		time.Sleep(2 * time.Millisecond)
 	}
-	res.Ops = int(ops.Load() - base)
+	res.Ops = int(ops.Load() - crashBase)
 	return finish()
 }
 

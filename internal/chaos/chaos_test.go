@@ -2,8 +2,10 @@ package chaos_test
 
 import (
 	"testing"
+	"time"
 
 	"msqueue/internal/algorithms"
+	"msqueue/internal/baseline"
 	"msqueue/internal/chaos"
 	"msqueue/internal/inject"
 	"msqueue/internal/queue"
@@ -141,6 +143,57 @@ func TestShardedStealPointVerified(t *testing.T) {
 	if !res.Completed || res.Stalled {
 		t.Fatalf("peers did not complete with a thief crashed mid-scan: %+v", res)
 	}
+}
+
+// TestValoisCrashedHolderMemoryBound pins the boundary of Valois's
+// non-blocking guarantee: it holds only while memory lasts. A victim
+// crash-stopped at V:holding-head-ref keeps a counted reference on the old
+// head forever, and because release cascades can never pass a node whose
+// counter is pinned, every node the peers subsequently dequeue stays
+// transitively reachable from it — each completed pair permanently consumes
+// one arena node. With an arena comfortably larger than the quota the group
+// completes (the conformance sweep's configuration); with an arena smaller
+// than the quota the group provably stalls once the arena drains, which is
+// the paper's own section 6 observation that the reference-counted queue
+// "ran out of memory" under delayed processes. The conformance verdict for
+// the catalog entry is therefore a statement about the configured headroom
+// (Capacity 4096 against Ops 96), not an unconditional guarantee — this
+// test is the tested justification, and it also exercises the park-time
+// progress baseline (NthGate.OnStall): with the arena draining right after
+// the crash, a late monitor-side baseline would misread the stall point.
+func TestValoisCrashedHolderMemoryBound(t *testing.T) {
+	info, err := algorithms.Lookup("valois")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Budget = 10 * time.Second
+
+	t.Run("ample-arena-completes", func(t *testing.T) {
+		cfg := cfg
+		cfg.Capacity = 4096 // arena ≫ quota: exhaustion unreachable within the run
+		res := chaos.CrashAt(entry(info), baseline.PointValoisHoldingRef, 1, cfg)
+		if !res.Crashed {
+			t.Skip("workload never reached V:holding-head-ref")
+		}
+		if !res.Completed {
+			t.Fatalf("peers failed to complete with ample arena headroom: %+v", res)
+		}
+	})
+	t.Run("small-arena-stalls", func(t *testing.T) {
+		cfg := cfg
+		cfg.Capacity = 64 // arena < quota: each pair leaks one pinned node
+		res := chaos.CrashAt(entry(info), baseline.PointValoisHoldingRef, 1, cfg)
+		if !res.Crashed {
+			t.Skip("workload never reached V:holding-head-ref")
+		}
+		if res.Completed || !res.Stalled {
+			t.Fatalf("expected arena exhaustion to stall the group (got %+v); the transitive-pinning bound no longer holds", res)
+		}
+		if res.Ops >= cfg.Ops {
+			t.Fatalf("group completed %d pairs out of a %d-node arena; pinned nodes were reclaimed", res.Ops, cfg.Capacity)
+		}
+	})
 }
 
 // TestDelayStressConservation runs the delay adversary standalone against

@@ -1,0 +1,244 @@
+package explore
+
+// Dynamic partial-order reduction (Flanagan & Godefroid, POPL 2005) with
+// sleep sets, over the step machines of procs*.go. Two interleavings that
+// differ only in the order of adjacent *independent* events — events of
+// different processes whose declared footprints (access.go) do not
+// conflict — produce the same final state and, because the history's
+// precedence relation is protected by the lkHist conflicts, the same
+// linearizability verdict. The explorer therefore needs only one
+// representative per such equivalence class (a Mazurkiewicz trace).
+//
+// The engine is the classic stack-based formulation, with two deliberate
+// simplifications over the paper:
+//
+//   - No vector clocks (happens-before tracking). When an executed
+//     transition conflicts with an earlier one, the scan stops at the
+//     *last* conflicting frame and adds a backtrack point there, also
+//     stopping at the process's own previous transition (program order
+//     already orders those). Without clocks, some backtrack points are
+//     redundant — they re-derive orders already implied transitively — so
+//     the reduction is smaller than optimal DPOR's, but never unsound: a
+//     superset of the needed schedules is explored.
+//   - A disabled-target fallback. Backtracking wants to run process q
+//     before the conflicting frame, but q may have been disabled there
+//     (parked, or not yet past a lock). The sound fallback is to add every
+//     process enabled at that frame, which suffices for q to become
+//     runnable in some explored reordering.
+//
+// Sleep sets prune the remaining redundancy: after the engine has fully
+// explored running p from a state, p goes to sleep there — any schedule
+// that starts with a different process and runs p before the next conflict
+// would re-derive an explored class. A sleeping process wakes (drops out of
+// the child's sleep set) exactly when the executed transition conflicts
+// with its next one. A state whose every enabled process is asleep is a
+// redundant prefix, counted in Result.Pruned (NOT Blocked: the processes
+// can run; running them is just provably pointless).
+//
+// Spin parking (advance's quiet/anchor machinery) is kept identical to full
+// enumeration — it is the loop cutter that makes paths mode terminate, and
+// the parked/blocked verdicts are part of what DPOR must preserve. Parking
+// is schedule-dependent bookkeeping, so Parked and Pruned *counts* differ
+// from full enumeration's; the cross-checks in dpor_test.go pin what must
+// not differ: the violation kinds found, blocked-state existence, and the
+// reachability of every counterexample.
+
+// dporFrame is one executed transition on the current schedule's stack: the
+// state it left from (implicitly, its depth), what ran, and what remains to
+// be run from there.
+type dporFrame struct {
+	enabled   []int        // processes runnable in the frame's state
+	backtrack map[int]bool // processes to explore from this state
+	done      map[int]bool // processes already explored from this state
+	sleep     map[int]bool // sleep set of this state (nil = empty)
+	chosen    int          // process whose transition this frame executed
+	acc       access       // that transition's declared footprint
+}
+
+// dpor explores from (s, procs) with the given sleep set, using
+// e.frames as the stack of executed transitions above this state.
+func (e *explorer) dpor(s *State, procs []Proc, schedule []int, sleep map[int]bool) {
+	if e.err != nil || e.res.Capped {
+		return
+	}
+
+	cands, unfinished := candidates(s, procs)
+	if unfinished == 0 {
+		e.leaf(s, schedule)
+		return
+	}
+	if len(cands) == 0 {
+		e.blockedState(s, unfinished, schedule)
+		return
+	}
+	if e.res.Parked == 0 {
+		e.probeSpin(s, procs, schedule, cands)
+	}
+
+	frame := &dporFrame{
+		enabled:   cands,
+		backtrack: make(map[int]bool),
+		done:      make(map[int]bool),
+		sleep:     sleep,
+		chosen:    -1,
+	}
+	e.frames = append(e.frames, frame)
+	defer func() { e.frames = e.frames[:len(e.frames)-1] }()
+
+	// The algorithm's core: on arrival at a state, every unfinished
+	// process's pending transition — picked here or not, parked or not —
+	// votes for backtrack points at the most recent executed transition it
+	// conflicts with. This is what reaches the process the seed keeps
+	// starving: its pending event gets scheduled before the conflict even
+	// though this schedule never runs it.
+	for i := range procs {
+		if procs[i].Done() {
+			continue
+		}
+		e.addBacktrackPoints(i, nextAccess(s, &procs[i]))
+	}
+
+	// Seed the backtrack set with the first runnable process that is not
+	// asleep; if every enabled process is asleep this whole subtree is a
+	// replay of explored orders.
+	seeded := false
+	for _, i := range cands {
+		if !sleep[i] {
+			frame.backtrack[i] = true
+			seeded = true
+			break
+		}
+	}
+	if !seeded {
+		e.res.Pruned++
+		return
+	}
+
+	for {
+		// Deterministic pick: the lowest-index process that a conflict (or
+		// the seed) scheduled here and that is neither explored nor asleep.
+		// Backtrack points arrive while children run, so re-scan each turn.
+		pick := -1
+		for _, i := range frame.enabled {
+			if frame.backtrack[i] && !frame.done[i] && !sleep[i] {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return
+		}
+
+		acc := nextAccess(s, &procs[pick])
+		frame.chosen = pick
+		frame.acc = acc
+		s2, procs2, ok := e.advance(s, procs, pick, schedule)
+		if ok {
+			// The child inherits the sleepers whose next transition commutes
+			// with what just ran; a conflict wakes them.
+			var childSleep map[int]bool
+			for q := range sleep {
+				if !conflicts(nextAccess(s, &procs[q]), acc) {
+					if childSleep == nil {
+						childSleep = make(map[int]bool)
+					}
+					childSleep[q] = true
+				}
+			}
+			e.dpor(s2, procs2, append(schedule, pick), childSleep)
+			if e.err != nil || e.res.Capped {
+				return
+			}
+		}
+		frame.done[pick] = true
+		// Sleep-as-done: from this state, every order starting with pick is
+		// covered; siblings must not run pick again before a conflict.
+		if sleep == nil {
+			sleep = make(map[int]bool)
+			frame.sleep = sleep
+		}
+		sleep[pick] = true
+	}
+}
+
+// probeSpinMaxSteps bounds one spin probe. A read-only loop parks within
+// loopBudget+2 solo steps, so anything well past that is a process making
+// genuine progress on its own.
+const probeSpinMaxSteps = 256
+
+// probeSpin preserves the parked verdict under reduction. Parking is not a
+// trace property: the spin window keys on the global write version, so two
+// equivalent interleavings can differ in whether a process ever completes a
+// read-only loop undisturbed — and the representative DPOR explores usually
+// does not. The probe asks the question the verdict actually encodes — can
+// some process, from a reachable state, spin without progress until another
+// process intervenes? — by running each runnable process *alone* on a
+// throwaway clone until it parks, finishes, or exhausts the step bound.
+//
+// Every probe schedule (the explored prefix plus one process repeated) is a
+// feasible schedule of the full interleaving space, stepped through the
+// ordinary advance machinery, so a park found here is exactly a park full
+// enumeration finds, with a replayable witness schedule; conversely a park
+// full enumeration can reach is a state where the spinning process cannot
+// progress alone, which the probe detects directly. Once one park is
+// recorded the probing stops — like full enumeration's violation report,
+// the verdict is existence, not a census.
+func (e *explorer) probeSpin(s *State, procs []Proc, schedule []int, cands []int) {
+	for _, i := range cands {
+		ps, pp := s, procs
+		sched := schedule
+		for k := 0; k < probeSpinMaxSteps; k++ {
+			s2, p2, ok := e.advance(ps, pp, i, sched)
+			if !ok {
+				return // a checker fired on this (real) schedule; recorded
+			}
+			sched = append(sched[:len(sched):len(sched)], i)
+			if p2[i].parked {
+				return // recorded by advance as the first-park violation
+			}
+			if p2[i].Done() {
+				break // ran its whole script alone; no blocking here
+			}
+			ps, pp = s2, p2
+		}
+		if e.res.Parked > 0 {
+			return
+		}
+	}
+}
+
+// addBacktrackPoints walks the executed stack for every transition that
+// conflicts with the pending transition (pick, acc) and schedules pick —
+// or, if pick was not runnable there, everything that was — to be explored
+// from that frame's state. Frames executed by pick itself are skipped
+// (program order already sequences the pending transition after them), but
+// the scan does not stop there: a conflict further down may still admit a
+// reordering in which pick's whole program-order prefix runs first.
+//
+// With vector clocks the scan could stop at the most recent conflicting
+// frame not already happens-before-ordered with the pending transition;
+// without them, adding a point at every conflicting frame is the sound
+// over-approximation (extra points cost redundant schedules, which the
+// sleep sets then prune, never missed ones).
+func (e *explorer) addBacktrackPoints(pick int, acc access) {
+	for fi := len(e.frames) - 2; fi >= 0; fi-- {
+		f := e.frames[fi]
+		if f.chosen == pick || !conflicts(f.acc, acc) {
+			continue
+		}
+		enabledThere := false
+		for _, q := range f.enabled {
+			if q == pick {
+				enabledThere = true
+				break
+			}
+		}
+		if enabledThere {
+			f.backtrack[pick] = true
+		} else {
+			for _, q := range f.enabled {
+				f.backtrack[q] = true
+			}
+		}
+	}
+}

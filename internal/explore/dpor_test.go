@@ -1,0 +1,442 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// kindSet collapses a result's violations to the set of kinds found — the
+// verdict surface DPOR must preserve exactly. Counts per kind are
+// schedule-census quantities (how many interleavings hit the bug) and
+// legitimately differ under reduction; which *kinds* of failure exist must
+// not.
+func kindSet(r Result) map[string]bool {
+	ks := make(map[string]bool)
+	for _, v := range r.Violations {
+		ks[v.Kind] = true
+	}
+	return ks
+}
+
+func equalKinds(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// crossCheckCases are enumerable workloads spanning every modelled machine
+// and every verdict class the explorer can produce: clean non-blocking
+// (ms, epoch, ring), racy (stone's lost insertion, valois-style flows),
+// and blocking (mc's swap-link window, the two-lock queue's lock waits).
+func crossCheckCases() []struct {
+	name string
+	cfg  Config
+} {
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"ms-1x1", Config{Algo: AlgoMS, Scripts: [][]OpSpec{{Enq(1)}, {Deq()}}, ArenaSize: 3, CheckInvariants: CheckMSInvariants}},
+		{"ms-enq-enq-deq", Config{Algo: AlgoMS, Scripts: [][]OpSpec{{Enq(1), Deq()}, {Enq(2)}}, ArenaSize: 4, CheckInvariants: CheckMSInvariants}},
+		{"stone-race", Config{Algo: AlgoStone, Scripts: [][]OpSpec{{Enq(1)}, {Enq(2), Deq()}}, ArenaSize: 4, CheckInvariants: CheckHeadSanity}},
+		{"mc-blocking", Config{Algo: AlgoMC, Scripts: [][]OpSpec{{Enq(1)}, {Deq()}}, ArenaSize: 3}},
+		{"two-lock", Config{Algo: AlgoTwoLock, Scripts: [][]OpSpec{{Enq(1)}, {Deq(), Enq(2)}}, ArenaSize: 4, CheckInvariants: CheckTwoLockInvariants}},
+		// The valois 1-enq/1-deq workload is NOT enumerable (its reference
+		// count traffic alone pushes full enumeration past 2M paths), so
+		// the refcount machine's oracle case is the two-empty-dequeue
+		// script: SafeRead's acquire/validate, the release cascade, and
+		// the shared dummy's counter are all still exercised.
+		{"valois-deq-deq", Config{Algo: AlgoValois, Scripts: [][]OpSpec{{Deq()}, {Deq()}}, ArenaSize: 3, CheckLedger: CheckValoisLedger}},
+		{"epoch-1x1", Config{Algo: AlgoEpoch, Scripts: [][]OpSpec{{Enq(1)}, {Deq()}}, ArenaSize: 3, CheckLedger: CheckEpochHeld}},
+		{"epoch-deq-deq", Config{Algo: AlgoEpoch, Scripts: [][]OpSpec{{Deq()}, {Deq()}}, ArenaSize: 3, CheckLedger: CheckEpochHeld}},
+		{"ring-1x1", Config{Algo: AlgoRing, Scripts: [][]OpSpec{{Enq(1)}, {Deq()}}, ArenaSize: 1, CheckInvariants: CheckRingInvariants}},
+		// A 2-slot ring (order 1) keeps the threshold small enough for the
+		// empty-side dequeue's retry spending to stay enumerable while
+		// still reaching the consume, lag-advance and catch-up CASes.
+		{"ring-enq-deq-deq", Config{Algo: AlgoRing, RingOrder: 1, Scripts: [][]OpSpec{{Enq(1), Deq()}, {Deq()}}, ArenaSize: 1, CheckInvariants: CheckRingInvariants}},
+	}
+}
+
+// TestDPORCrossCheck is the fidelity gate for the reduction: on every
+// enumerable script, DPOR and full enumeration must agree on the verdict —
+// the set of violation kinds found, whether blocked states exist, and
+// whether any process ever parks — and every DPOR counterexample must be
+// reachable (replayable to the same kind of failure). It also asserts the
+// reduction is real (strictly fewer or equal paths, never capped) and logs
+// the ratio per machine.
+func TestDPORCrossCheck(t *testing.T) {
+	for _, tc := range crossCheckCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			full, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatalf("full enumeration: %v", err)
+			}
+			dcfg := tc.cfg
+			dcfg.DPOR = true
+			red, err := Run(dcfg)
+			if err != nil {
+				t.Fatalf("DPOR: %v", err)
+			}
+			if full.Capped || red.Capped {
+				t.Fatalf("exploration capped (full %v, dpor %v); enlarge MaxPaths or shrink the script", full.Capped, red.Capped)
+			}
+			if fk, rk := kindSet(full), kindSet(red); !equalKinds(fk, rk) {
+				t.Errorf("verdicts differ: full found %v, DPOR found %v", fk, rk)
+			}
+			if (full.Blocked > 0) != (red.Blocked > 0) {
+				t.Errorf("blocked-state existence differs: full %d, DPOR %d", full.Blocked, red.Blocked)
+			}
+			if (full.Parked > 0) != (red.Parked > 0) {
+				t.Errorf("parked-process existence differs: full %d, DPOR %d", full.Parked, red.Parked)
+			}
+			if red.Paths > full.Paths {
+				t.Errorf("DPOR explored more paths (%d) than full enumeration (%d)", red.Paths, full.Paths)
+			}
+			for _, v := range red.Violations {
+				res, err := Replay(tc.cfg, v.Schedule)
+				if err != nil {
+					t.Errorf("DPOR %s counterexample is not replayable: %v", v.Kind, err)
+					continue
+				}
+				if !kindSet(res)[v.Kind] {
+					t.Errorf("replaying DPOR %s counterexample %v did not reproduce it", v.Kind, v.Schedule)
+				}
+			}
+			t.Logf("paths: full %d, DPOR %d (%.1fx), pruned %d, violations full=%v dpor=%v",
+				full.Paths, red.Paths, float64(full.Paths)/float64(max(red.Paths, 1)), red.Pruned, kindSet(full), kindSet(red))
+		})
+	}
+}
+
+// TestDPORReductionMS2x2 is the acceptance benchmark: the largest MS
+// workload whose full enumeration still fits the default path cap — an
+// enqueue-dequeue pair racing a second enqueuer, ~1.4M complete
+// interleavings. (Two ops on *both* sides pushes full enumeration past 2M
+// paths, which is exactly the wall DPOR exists to move.) DPOR must agree
+// on the clean verdict at a >= 10x smaller path count.
+func TestDPORReductionMS2x2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full enumeration of ~1.4M paths; skipped with -short")
+	}
+	cfg := Config{
+		Algo:            AlgoMS,
+		Scripts:         [][]OpSpec{{Enq(1), Deq()}, {Enq(2)}},
+		ArenaSize:       4,
+		CheckInvariants: CheckMSInvariants,
+	}
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := cfg
+	dcfg.DPOR = true
+	red, err := Run(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Capped || red.Capped {
+		t.Fatalf("capped: full %v, dpor %v", full.Capped, red.Capped)
+	}
+	if len(full.Violations) != 0 || len(red.Violations) != 0 {
+		t.Fatalf("MS queue must verify clean: full %v, dpor %v", full.Violations, red.Violations)
+	}
+	if full.Blocked != 0 || red.Blocked != 0 || full.Parked != 0 || red.Parked != 0 {
+		t.Fatalf("MS queue must be non-blocking: full blocked=%d parked=%d, dpor blocked=%d parked=%d",
+			full.Blocked, full.Parked, red.Blocked, red.Parked)
+	}
+	if red.Paths*10 > full.Paths {
+		t.Fatalf("insufficient reduction: full %d paths, DPOR %d (need >= 10x)", full.Paths, red.Paths)
+	}
+	t.Logf("MS 2x2: full %d paths, DPOR %d paths (%.0fx reduction), %d pruned",
+		full.Paths, red.Paths, float64(full.Paths)/float64(red.Paths), red.Pruned)
+}
+
+// TestDPORFindsStoneViolation checks that reduction does not lose the
+// historical counterexamples: Stone's non-linearizable schedule must still
+// be found under DPOR, and its minimized trace must replay to the same
+// verdict.
+func TestDPORFindsStoneViolation(t *testing.T) {
+	cfg := Config{
+		Algo:            AlgoStone,
+		Scripts:         [][]OpSpec{{Enq(1)}, {Enq(2), Deq()}},
+		ArenaSize:       4,
+		CheckInvariants: CheckHeadSanity,
+		DPOR:            true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lin *Violation
+	for i := range res.Violations {
+		if res.Violations[i].Kind == "linearizability" {
+			lin = &res.Violations[i]
+			break
+		}
+	}
+	if lin == nil {
+		t.Fatalf("DPOR missed Stone's linearizability violation (violations: %v)", res.Violations)
+	}
+	if lin.Minimized == nil {
+		t.Fatalf("violation has no minimized schedule")
+	}
+	if len(lin.Minimized) > len(lin.Schedule) {
+		t.Fatalf("minimized schedule longer than the original: %d > %d", len(lin.Minimized), len(lin.Schedule))
+	}
+	rep, err := Replay(cfg, lin.Minimized)
+	if err != nil {
+		t.Fatalf("minimized schedule does not replay: %v", err)
+	}
+	if !kindSet(rep)["linearizability"] {
+		t.Fatalf("minimized schedule %v lost the violation", lin.Minimized)
+	}
+	t.Logf("stone: schedule %d events, minimized %d", len(lin.Schedule), len(lin.Minimized))
+}
+
+// epochRegressionScripts is the workload that separates the two limbo
+// keyings. Three enqueues feed three retires: P0's first dequeue retires
+// the original dummy and advances the global epoch from 0 to 1 past P1,
+// which pinned at 0 before the advance; P1's first dequeue then retires
+// node A under that stale pin — bucket keyed 0 if pin-keyed, 1 (the global
+// observed at retire time) if shipped; P0's second dequeue pins at 1 and
+// reads Head = A just before P1 unlinks it; P1's second dequeue retires B,
+// advances 1 -> 2 (P0's pin at 1 does not block an advance *from* 1), and
+// flushes its own limbo. At global 2 the pin-keyed bucket (epoch 0) is past
+// the two-epoch horizon and frees A while P0 still holds it; the shipped
+// bucket (epoch 1) needs global 3, which P0's pin blocks.
+func epochRegressionScripts() [][]OpSpec {
+	return [][]OpSpec{
+		{Deq(), Deq()},
+		{Enq(1), Enq(2), Enq(3), Deq(), Deq()},
+	}
+}
+
+// TestEpochPinKeyedRegression is the PR-7 regression pair: exploring the
+// pin-keyed limbo variant must find a freed-while-held state, and the
+// shipped retire-time-global keying must pass the same scripts clean. The
+// primary pair runs in graph mode — exhaustive over every reachable state,
+// which is both the strongest form of "caught" and of "passes" — and the
+// caught side's counterexample is then replayed and minimized through the
+// paths machinery. A second, slower pair gives both keyings the same
+// DPOR-reduced path budget for symmetry.
+func TestEpochPinKeyedRegression(t *testing.T) {
+	scripts := epochRegressionScripts()
+
+	t.Run("pin-keyed-caught", func(t *testing.T) {
+		res, err := Run(Config{
+			Algo:        AlgoEpochPinKeyed,
+			Scripts:     scripts,
+			ArenaSize:   5,
+			CheckLedger: CheckEpochHeld,
+			Mode:        ModeGraph,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var found *Violation
+		for i := range res.Violations {
+			if res.Violations[i].Kind == "invariant" {
+				found = &res.Violations[i]
+				break
+			}
+		}
+		if found == nil {
+			t.Fatalf("pin-keyed limbo variant not caught (states %d, capped %v, violations %v)",
+				res.Paths, res.Capped, res.Violations)
+		}
+		pcfg := Config{Algo: AlgoEpochPinKeyed, Scripts: scripts, ArenaSize: 5, CheckLedger: CheckEpochHeld}
+		rep, err := Replay(pcfg, found.Schedule)
+		if err != nil {
+			t.Fatalf("counterexample not replayable: %v", err)
+		}
+		if !kindSet(rep)["invariant"] {
+			t.Fatalf("replay of %v lost the violation", found.Schedule)
+		}
+		minimized := MinimizeSchedule(pcfg, found.Schedule, found.Kind)
+		if len(minimized) > len(found.Schedule) {
+			t.Fatalf("minimization grew the schedule: %d > %d", len(minimized), len(found.Schedule))
+		}
+		t.Logf("pin-keyed bug caught (schedule %d events, minimized %d): %s",
+			len(found.Schedule), len(minimized), found.Detail)
+	})
+
+	t.Run("shipped-keying-passes", func(t *testing.T) {
+		res, err := Run(Config{
+			Algo:        AlgoEpoch,
+			Scripts:     scripts,
+			ArenaSize:   5,
+			CheckLedger: CheckEpochHeld,
+			Mode:        ModeGraph,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Capped {
+			t.Fatalf("graph exploration capped at %d states", res.Paths)
+		}
+		for _, v := range res.Violations {
+			if v.Kind == "invariant" {
+				t.Fatalf("shipped keying flagged: %v", v)
+			}
+		}
+		t.Logf("shipped keying clean over %d reachable states", res.Paths)
+	})
+
+	// Same scripts, same reduced-path budget, both keyings: the buggy one
+	// must fail inside it, the shipped one must survive it. The budget is
+	// sized from the buggy side's observed discovery depth (it needs a
+	// couple hundred thousand reduced paths before the seed ordering
+	// reaches the stale-pin interleaving), which makes this pair slow —
+	// the graph pair above already proves the verdicts, so -short skips.
+	t.Run("dpor-symmetry", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("several hundred thousand reduced paths per side; the graph pair covers the verdicts")
+		}
+		const budget = 400000
+		buggy, err := Run(Config{
+			Algo:        AlgoEpochPinKeyed,
+			Scripts:     scripts,
+			ArenaSize:   5,
+			MaxPaths:    budget,
+			CheckLedger: CheckEpochHeld,
+			DPOR:        true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kindSet(buggy)["invariant"] {
+			t.Errorf("pin-keyed keying not caught within %d reduced paths", budget)
+		}
+		shipped, err := Run(Config{
+			Algo:        AlgoEpoch,
+			Scripts:     scripts,
+			ArenaSize:   5,
+			MaxPaths:    budget,
+			CheckLedger: CheckEpochHeld,
+			DPOR:        true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kindSet(shipped)["invariant"] {
+			t.Errorf("shipped keying flagged: %v", shipped.Violations)
+		}
+		t.Logf("pin-keyed caught=%v, shipped clean over %d reduced paths",
+			kindSet(buggy)["invariant"], shipped.Paths)
+	})
+}
+
+// TestEpochModelNonBlocking pins the liveness shape of the epoch machine on
+// a small workload: exploration completes with no blocked states and no
+// parked processes (the epoch MS queue is as non-blocking as the counted
+// one; reclamation never makes anyone wait).
+func TestEpochModelNonBlocking(t *testing.T) {
+	res, err := Run(Config{
+		Algo:        AlgoEpoch,
+		Scripts:     [][]OpSpec{{Enq(1), Deq()}, {Deq()}},
+		ArenaSize:   4,
+		CheckLedger: CheckEpochHeld,
+		DPOR:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatalf("capped at %d paths", res.Paths)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Blocked != 0 || res.Parked != 0 {
+		t.Fatalf("epoch machine must be non-blocking: blocked=%d parked=%d", res.Blocked, res.Parked)
+	}
+}
+
+// TestRingModelVerdicts pins the ring machine's explored behaviour: clean
+// invariants and linearizable histories on a mixed workload, and correct
+// emptiness (a dequeue on the empty ring completes empty without blocking
+// anyone).
+func TestRingModelVerdicts(t *testing.T) {
+	// Order 2 (4 slots, capacity 2) admits both enqueues live at once and
+	// keeps the empty dequeue's threshold spending — all genuinely
+	// dependent counter writes, which no reduction can collapse — small
+	// enough to explore; order 3 pushes this workload past 2M paths even
+	// under DPOR.
+	res, err := Run(Config{
+		Algo:            AlgoRing,
+		RingOrder:       2,
+		Scripts:         [][]OpSpec{{Enq(1), Deq()}, {Deq(), Enq(2)}},
+		ArenaSize:       1,
+		CheckInvariants: CheckRingInvariants,
+		DPOR:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatalf("capped at %d paths", res.Paths)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Blocked != 0 {
+		t.Fatalf("blocked states: %d", res.Blocked)
+	}
+	t.Logf("ring workload: %d paths, %d events, parked %d", res.Paths, res.Events, res.Parked)
+}
+
+// TestReplayRejectsInfeasible documents Replay's contract: schedules that
+// step a finished or out-of-range process are errors, not silent no-ops.
+func TestReplayRejectsInfeasible(t *testing.T) {
+	cfg := Config{Algo: AlgoMS, Scripts: [][]OpSpec{{Enq(1)}}, ArenaSize: 2}
+	if _, err := Replay(cfg, []int{7}); err == nil {
+		t.Fatal("out-of-range process accepted")
+	}
+	long := make([]int, 100)
+	if _, err := Replay(cfg, long); err == nil {
+		t.Fatal("schedule past script completion accepted")
+	}
+}
+
+// TestDPORRequiresPathsMode pins the config validation.
+func TestDPORRequiresPathsMode(t *testing.T) {
+	_, err := Run(Config{Algo: AlgoMS, Mode: ModeGraph, DPOR: true, Scripts: [][]OpSpec{{Enq(1)}}, ArenaSize: 2})
+	if err == nil {
+		t.Fatal("DPOR with ModeGraph accepted")
+	}
+}
+
+// TestConflictRules pins the independence relation's deliberate edges: the
+// HIST write-write exemption (adjacent returns commute) and the
+// write-read conflict that keeps a return ordered against a later invoke.
+func TestConflictRules(t *testing.T) {
+	var ret1, ret2, inv access
+	ret1.wr(lkHist, -1)
+	ret2.wr(lkHist, -1)
+	inv.rd(lkHist, -1)
+	if conflicts(ret1, ret2) {
+		t.Fatal("two returns must commute (write-write on the history is exempt)")
+	}
+	if !conflicts(ret1, inv) {
+		t.Fatal("a return and an invoke must conflict (real-time precedence)")
+	}
+	var casA, casB, other access
+	casA.rw(lkNext, 3)
+	casB.rw(lkNext, 3)
+	other.rw(lkNext, 4)
+	if !conflicts(casA, casB) {
+		t.Fatal("same-location CASes must conflict")
+	}
+	if conflicts(casA, other) {
+		t.Fatal("different-node CASes must not conflict")
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported for debug churn in this file

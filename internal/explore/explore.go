@@ -42,13 +42,30 @@ type Config struct {
 	// Mode selects path enumeration (linearizability) or state-graph search
 	// (invariants, blocking). The zero value is ModePaths.
 	Mode Mode
+	// DPOR enables dynamic partial-order reduction with sleep sets in
+	// ModePaths: instead of every interleaving, the explorer runs one
+	// representative per equivalence class of interleavings that differ only
+	// in the order of independent (non-conflicting) events, computing
+	// backtracking points from the actual conflicts each executed transition
+	// has with earlier ones (dpor.go). Verdicts are unchanged — the
+	// cross-checks in dpor_test.go enforce that against full enumeration —
+	// but the path count drops by orders of magnitude, which is the budget
+	// the epoch and ring models spend. Not valid with ModeGraph (graph mode
+	// already collapses the path explosion by state memoisation).
+	DPOR bool
 	// Scripts gives each process its operation sequence. Enqueued values
 	// must be unique across all scripts (the checkers require it).
 	Scripts [][]OpSpec
 	// ArenaSize is the number of model nodes (including the dummy). For
 	// AlgoMC size it to hold every enqueue plus the dummy: the model, like
-	// the GC implementation, never recycles nodes.
+	// the GC implementation, never recycles nodes. AlgoRing does not use the
+	// node arena; pass 1.
 	ArenaSize int
+	// RingOrder is log2 of the AlgoRing slot count (capacity is half the
+	// slots, as in internal/ring). Zero selects DefaultRingOrder. Scripts
+	// must keep the live population within the capacity — the bound the real
+	// composition's free ring enforces and SCQ's liveness argument needs.
+	RingOrder uint
 	// CheckInvariants, when set, runs after every event. Use
 	// CheckMSInvariants for the MS queue and CheckHeadSanity for the
 	// flawed comparators (whose in-flight states legitimately break the
@@ -76,6 +93,7 @@ type Config struct {
 const (
 	DefaultMaxPaths   = 2_000_000
 	DefaultLoopBudget = 12
+	DefaultRingOrder  = 3 // 8 slots, capacity 4
 )
 
 // Violation describes one failed interleaving or state.
@@ -90,6 +108,10 @@ type Violation struct {
 	// History is the completed-operation history at the failure (for
 	// linearizability violations).
 	History []linearizability.Op
+	// Minimized, when non-nil, is a shortened schedule that still reproduces
+	// a violation of the same Kind under Replay (replay.go). Run fills it in
+	// for ModePaths findings.
+	Minimized []int
 }
 
 // String formats the violation.
@@ -119,6 +141,11 @@ type Result struct {
 	// write. For Mellor-Crummey's queue the dequeuer parks in the
 	// swap-to-link window.
 	Parked int
+	// Pruned counts DPOR sleep-set prunes: states whose every enabled
+	// process was asleep, meaning each of its transitions was already
+	// explored in an equivalent order elsewhere. These are *redundant*
+	// prefixes, not deadlocks; Blocked counts the latter.
+	Pruned int
 	// Capped reports that MaxPaths truncated the exploration.
 	Capped bool
 	// Violations collects the first few invariant, linearizability and
@@ -131,14 +158,35 @@ const maxViolations = 8
 
 // Run explores the configured workload exhaustively.
 func Run(cfg Config) (Result, error) {
+	e, state, procs, err := newExplorer(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.DPOR {
+		e.dpor(state, procs, nil, nil)
+	} else {
+		e.dfs(state, procs, nil)
+	}
+	if e.err == nil && cfg.Mode == ModePaths {
+		e.minimizeViolations()
+	}
+	return e.res, e.err
+}
+
+// newExplorer validates the configuration and builds the initial state, the
+// process set and the explorer — the setup shared by Run and Replay.
+func newExplorer(cfg Config) (*explorer, *State, []Proc, error) {
 	if len(cfg.Scripts) == 0 {
-		return Result{}, fmt.Errorf("explore: no process scripts")
+		return nil, nil, nil, fmt.Errorf("explore: no process scripts")
 	}
 	if cfg.ArenaSize < 1 {
-		return Result{}, fmt.Errorf("explore: ArenaSize must be >= 1")
+		return nil, nil, nil, fmt.Errorf("explore: ArenaSize must be >= 1")
+	}
+	if cfg.DPOR && cfg.Mode == ModeGraph {
+		return nil, nil, nil, fmt.Errorf("explore: DPOR applies to ModePaths only (graph mode deduplicates states, not orderings)")
 	}
 	if err := validateValues(cfg.Scripts); err != nil {
-		return Result{}, err
+		return nil, nil, nil, err
 	}
 	maxPaths := cfg.MaxPaths
 	if maxPaths == 0 {
@@ -151,9 +199,20 @@ func Run(cfg Config) (Result, error) {
 
 	state := NewState(cfg.ArenaSize)
 	state.NoHistory = cfg.Mode == ModeGraph
-	if cfg.Algo == AlgoValois {
+	switch cfg.Algo {
+	case AlgoValois:
 		InitValoisQueue(state)
-	} else {
+	case AlgoEpoch:
+		InitEpochQueue(state, len(cfg.Scripts), false)
+	case AlgoEpochPinKeyed:
+		InitEpochQueue(state, len(cfg.Scripts), true)
+	case AlgoRing:
+		order := cfg.RingOrder
+		if order == 0 {
+			order = DefaultRingOrder
+		}
+		InitRingQueue(state, order)
+	default:
 		InitQueue(state)
 	}
 	procs := make([]Proc, len(cfg.Scripts))
@@ -169,8 +228,7 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Mode == ModeGraph {
 		e.visited = make(map[string]struct{})
 	}
-	e.dfs(state, procs, nil)
-	return e.res, e.err
+	return e, state, procs, nil
 }
 
 type explorer struct {
@@ -178,8 +236,136 @@ type explorer struct {
 	maxPaths   int
 	loopBudget int
 	visited    map[string]struct{} // ModeGraph only
+	frames     []*dporFrame        // DPOR only: the current schedule's frames
 	res        Result
 	err        error
+}
+
+// candidates returns the runnable processes — unfinished and not parked at
+// the current version — and the number of unfinished processes.
+func candidates(s *State, procs []Proc) ([]int, int) {
+	var cands []int
+	unfinished := 0
+	for i := range procs {
+		if procs[i].Done() {
+			continue
+		}
+		unfinished++
+		if procs[i].parked && procs[i].parkedAt == s.Version {
+			continue
+		}
+		cands = append(cands, i)
+	}
+	return cands, unfinished
+}
+
+// leaf handles a complete interleaving (ModePaths): count it and check its
+// history with the exact linearizability decision procedure.
+func (e *explorer) leaf(s *State, schedule []int) {
+	e.res.Paths++
+	if e.res.Paths >= e.maxPaths {
+		e.res.Capped = true
+	}
+	ok, err := linearizability.CheckExact(linearizability.History{Ops: s.History})
+	if err != nil {
+		e.err = fmt.Errorf("explore: %w", err)
+		return
+	}
+	if !ok {
+		e.violation(Violation{
+			Kind:     "linearizability",
+			Schedule: append([]int(nil), schedule...),
+			Detail:   describeHistory(s.History),
+			History:  append([]linearizability.Op(nil), s.History...),
+		})
+	}
+}
+
+// blockedState records a full deadlock: unfinished processes exist but every
+// one is spinning without any possible state change.
+func (e *explorer) blockedState(s *State, unfinished int, schedule []int) {
+	e.res.Blocked++
+	if e.res.Blocked == 1 {
+		e.violation(Violation{
+			Kind:     "blocked",
+			Schedule: append([]int(nil), schedule...),
+			Detail:   fmt.Sprintf("%d process(es) spin forever; shared state: %s", unfinished, s.key()),
+		})
+	}
+}
+
+// advance clones (s, procs), steps process i, applies spin detection and
+// the configured checks, and returns the successor. ok is false when a
+// check rejected the post-state: the violation has been recorded and the
+// successor's subtree is pruned, the way dfs always has. schedule is the
+// path *up to* s; it is only read, never retained.
+func (e *explorer) advance(s *State, procs []Proc, i int, schedule []int) (s2 *State, procs2 []Proc, ok bool) {
+	s2 = s.Clone()
+	procs2 = append([]Proc(nil), procs...)
+	p := &procs2[i]
+	// The held multiset is mutated in place by the Valois machine;
+	// detach it from the parent node's backing array before stepping.
+	p.held = append([]int32(nil), p.held...)
+	if p.parked {
+		p.parked = false
+		p.quiet = 0
+	}
+	// A retry that follows someone else's write is productive progress,
+	// not spinning: spin detection applies only within a window in
+	// which the shared version stays unchanged. The window's anchor is
+	// the local state at its start; revisiting the anchor without any
+	// write means the process is in a deterministic read-only loop.
+	if s2.Version != p.lastSeen {
+		p.quiet = 0
+		p.anchor = p.localKey()
+	}
+	opsBefore := p.cur
+	wrote := p.step(s2)
+	e.res.Events++
+	switch {
+	case wrote || p.cur != opsBefore:
+		p.quiet = 0
+		p.anchor = ""
+	default:
+		p.quiet++
+		if p.localKey() == p.anchor || p.quiet > e.loopBudget {
+			p.parked = true
+			p.parkedAt = s2.Version
+			p.quiet = 0
+			p.anchor = ""
+			e.res.Parked++
+			if e.res.Parked == 1 {
+				e.violation(Violation{
+					Kind:     "parked",
+					Schedule: append(append([]int(nil), schedule...), i),
+					Detail: fmt.Sprintf("process %d spins in a read-only loop and cannot complete until another process runs (pc state %s)",
+						p.ID, p.localKey()),
+				})
+			}
+		}
+	}
+	p.lastSeen = s2.Version
+	if e.cfg.CheckInvariants != nil {
+		if err := e.cfg.CheckInvariants(s2); err != nil {
+			e.violation(Violation{
+				Kind:     "invariant",
+				Schedule: append(append([]int(nil), schedule...), i),
+				Detail:   err.Error(),
+			})
+			return s2, procs2, false
+		}
+	}
+	if e.cfg.CheckLedger != nil {
+		if err := e.cfg.CheckLedger(s2, procs2); err != nil {
+			e.violation(Violation{
+				Kind:     "invariant",
+				Schedule: append(append([]int(nil), schedule...), i),
+				Detail:   err.Error(),
+			})
+			return s2, procs2, false
+		}
+	}
+	return s2, procs2, true
 }
 
 func (e *explorer) dfs(s *State, procs []Proc, schedule []int) {
@@ -200,124 +386,24 @@ func (e *explorer) dfs(s *State, procs []Proc, schedule []int) {
 		}
 	}
 
-	// Candidates: unfinished processes that are not parked, plus parked
-	// processes whose parking version has been overtaken by a write.
-	var candidates []int
-	unfinished := 0
-	for i := range procs {
-		if procs[i].Done() {
-			continue
-		}
-		unfinished++
-		if procs[i].parked && procs[i].parkedAt == s.Version {
-			continue
-		}
-		candidates = append(candidates, i)
-	}
+	cands, unfinished := candidates(s, procs)
 
 	if unfinished == 0 {
 		if e.visited == nil {
-			e.res.Paths++
-			if e.res.Paths >= e.maxPaths {
-				e.res.Capped = true
-			}
-			// A complete interleaving: check its history exactly.
-			ok, err := linearizability.CheckExact(linearizability.History{Ops: s.History})
-			if err != nil {
-				e.err = fmt.Errorf("explore: %w", err)
-				return
-			}
-			if !ok {
-				e.violation(Violation{
-					Kind:     "linearizability",
-					Schedule: append([]int(nil), schedule...),
-					Detail:   describeHistory(s.History),
-					History:  append([]linearizability.Op(nil), s.History...),
-				})
-			}
+			e.leaf(s, schedule)
 		}
 		return
 	}
 
-	if len(candidates) == 0 {
-		// Unfinished processes exist but all are spinning without any
-		// possible state change: a blocked execution.
-		e.res.Blocked++
-		if e.res.Blocked == 1 {
-			e.violation(Violation{
-				Kind:     "blocked",
-				Schedule: append([]int(nil), schedule...),
-				Detail:   fmt.Sprintf("%d process(es) spin forever; shared state: %s", unfinished, s.key()),
-			})
-		}
+	if len(cands) == 0 {
+		e.blockedState(s, unfinished, schedule)
 		return
 	}
 
-	for _, i := range candidates {
-		s2 := s.Clone()
-		procs2 := append([]Proc(nil), procs...)
-		p := &procs2[i]
-		// The held multiset is mutated in place by the Valois machine;
-		// detach it from the parent node's backing array before stepping.
-		p.held = append([]int32(nil), p.held...)
-		if p.parked {
-			p.parked = false
-			p.quiet = 0
-		}
-		// A retry that follows someone else's write is productive progress,
-		// not spinning: spin detection applies only within a window in
-		// which the shared version stays unchanged. The window's anchor is
-		// the local state at its start; revisiting the anchor without any
-		// write means the process is in a deterministic read-only loop.
-		if s2.Version != p.lastSeen {
-			p.quiet = 0
-			p.anchor = p.localKey()
-		}
-		opsBefore := p.cur
-		wrote := p.step(s2)
-		e.res.Events++
-		switch {
-		case wrote || p.cur != opsBefore:
-			p.quiet = 0
-			p.anchor = ""
-		default:
-			p.quiet++
-			if p.localKey() == p.anchor || p.quiet > e.loopBudget {
-				p.parked = true
-				p.parkedAt = s2.Version
-				p.quiet = 0
-				p.anchor = ""
-				e.res.Parked++
-				if e.res.Parked == 1 {
-					e.violation(Violation{
-						Kind:     "parked",
-						Schedule: append(append([]int(nil), schedule...), i),
-						Detail: fmt.Sprintf("process %d spins in a read-only loop and cannot complete until another process runs (pc state %s)",
-							p.ID, p.localKey()),
-					})
-				}
-			}
-		}
-		p.lastSeen = s2.Version
-		if e.cfg.CheckInvariants != nil {
-			if err := e.cfg.CheckInvariants(s2); err != nil {
-				e.violation(Violation{
-					Kind:     "invariant",
-					Schedule: append(append([]int(nil), schedule...), i),
-					Detail:   err.Error(),
-				})
-				continue
-			}
-		}
-		if e.cfg.CheckLedger != nil {
-			if err := e.cfg.CheckLedger(s2, procs2); err != nil {
-				e.violation(Violation{
-					Kind:     "invariant",
-					Schedule: append(append([]int(nil), schedule...), i),
-					Detail:   err.Error(),
-				})
-				continue
-			}
+	for _, i := range cands {
+		s2, procs2, ok := e.advance(s, procs, i, schedule)
+		if !ok {
+			continue
 		}
 		e.dfs(s2, procs2, append(schedule, i))
 		if e.err != nil || e.res.Capped {

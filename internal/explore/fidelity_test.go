@@ -5,8 +5,10 @@ import (
 
 	"msqueue/internal/baseline"
 	"msqueue/internal/core"
+	"msqueue/internal/epoch"
 	"msqueue/internal/flawed"
 	"msqueue/internal/linearizability"
+	"msqueue/internal/ring"
 )
 
 // TestModelMatchesImplementationSequentially cross-validates the model
@@ -149,6 +151,89 @@ func TestMCModelMatchesImplementationSequentially(t *testing.T) {
 			t.Fatalf("op %d: implementation empty, model %v(%d)", i, m.Kind, m.Value)
 		case ok && (m.Kind != linearizability.Deq || m.Value != v):
 			t.Fatalf("op %d: implementation %d, model %v(%d)", i, v, m.Kind, m.Value)
+		}
+	}
+}
+
+// TestEpochModelMatchesImplementationSequentially cross-validates the
+// epoch machine against internal/epoch's real queue: the same script must
+// produce the same dequeue results, and the model's held-reference ledger
+// must be clean once the process unpins at the end.
+func TestEpochModelMatchesImplementationSequentially(t *testing.T) {
+	scripts := [][]OpSpec{
+		{Deq()},
+		{Enq(1), Deq(), Deq()},
+		{Enq(1), Enq(2), Deq(), Enq(3), Deq(), Deq(), Deq()},
+		{Enq(1), Deq(), Enq(2), Deq(), Enq(3), Deq()}, // retire/advance-heavy
+	}
+	for si, script := range scripts {
+		s := NewState(8)
+		InitEpochQueue(s, 1, false)
+		p := Proc{ID: 0, Algo: AlgoEpoch, Ops: script}
+		for !p.Done() {
+			p.step(s)
+		}
+		if err := CheckEpochHeld(s, []Proc{p}); err != nil {
+			t.Fatalf("script %d: final ledger: %v", si, err)
+		}
+
+		q := epoch.New(8)
+		for i, op := range script {
+			if op.Enqueue {
+				q.Enqueue(uint64(op.Value))
+				continue
+			}
+			v, ok := q.Dequeue()
+			m := s.History[i]
+			switch {
+			case !ok && m.Kind != linearizability.DeqEmpty:
+				t.Fatalf("script %d op %d: implementation empty, model %v(%d)", si, i, m.Kind, m.Value)
+			case ok && (m.Kind != linearizability.Deq || m.Value != int(v)):
+				t.Fatalf("script %d op %d: implementation %d, model %v(%d)", si, i, v, m.Kind, m.Value)
+			}
+		}
+	}
+}
+
+// TestRingModelMatchesImplementationSequentially cross-validates the ring
+// machine against internal/ring on the visible queue semantics: same
+// dequeue results, including emptiness, for the same script. Model order 3
+// (8 slots, capacity 4) pairs with ring.New(4), whose inner index rings are
+// also 8 slots.
+func TestRingModelMatchesImplementationSequentially(t *testing.T) {
+	scripts := [][]OpSpec{
+		{Deq()},
+		{Enq(1), Deq(), Deq()},
+		{Enq(1), Enq(2), Deq(), Enq(3), Deq(), Deq(), Deq()},
+		{Enq(1), Enq(2), Enq(3), Enq(4), Deq(), Deq(), Deq(), Deq(), Deq()}, // to capacity, then drain
+	}
+	for si, script := range scripts {
+		s := NewState(1)
+		InitRingQueue(s, 3)
+		p := Proc{ID: 0, Algo: AlgoRing, Ops: script}
+		for !p.Done() {
+			p.step(s)
+		}
+		if err := CheckRingInvariants(s); err != nil {
+			t.Fatalf("script %d: final state: %v", si, err)
+		}
+
+		q := ring.New[int](4)
+		for i, op := range script {
+			if op.Enqueue {
+				if !q.TryEnqueue(op.Value) {
+					t.Fatalf("script %d op %d: implementation ring full", si, i)
+				}
+				continue
+			}
+			v, ok := q.Dequeue()
+			m := s.History[i]
+			switch {
+			case !ok && m.Kind != linearizability.DeqEmpty:
+				t.Fatalf("script %d op %d: implementation empty, model %v(%d)", si, i, m.Kind, m.Value)
+			case ok && (m.Kind != linearizability.Deq || m.Value != v):
+				t.Fatalf("script %d op %d: implementation %d, model %v(%d)", si, i, v, m.Kind, m.Value)
+			}
 		}
 	}
 }

@@ -1,0 +1,138 @@
+package explore
+
+import (
+	"testing"
+
+	"msqueue/internal/core"
+	"msqueue/internal/epoch"
+	"msqueue/internal/linearizability"
+	"msqueue/internal/ring"
+)
+
+// fuzzCap bounds the fuzzed workload: at most fuzzCap enqueues keeps the
+// live population within the smallest modelled ring's capacity (order 3,
+// capacity 4) under any interleaving, so no machine can wedge on a full
+// ring, and scripts stay small enough for replays to be instant.
+const fuzzCap = 4
+
+// decodeFuzzScript turns fuzz bytes into a deterministic op script:
+// odd bytes enqueue (while the enqueue budget lasts), even bytes dequeue,
+// values count up from 1 so lost or duplicated values are identifiable.
+func decodeFuzzScript(raw []byte) []OpSpec {
+	const maxOps = 10
+	var script []OpSpec
+	enqs, next := 0, 1
+	for _, b := range raw {
+		if len(script) == maxOps {
+			break
+		}
+		if b&1 == 1 && enqs < fuzzCap {
+			script = append(script, Enq(next))
+			next++
+			enqs++
+		} else {
+			script = append(script, Deq())
+		}
+	}
+	return script
+}
+
+// FuzzExploreFidelity is the differential gate between the step machines
+// and the code they model, driven by fuzzed scripts and schedules:
+//
+//  1. Each machine runs the script sequentially next to its real
+//     implementation (core.MSTagged, epoch.Queue, ring.Ring); any
+//     difference in dequeue results is a model-fidelity bug.
+//  2. The script is split across two model processes and replayed under
+//     the fuzzed schedule; the MS, epoch and ring machines model correct
+//     algorithms, so any invariant, ledger or linearizability violation
+//     the replay finds is a divergence (in the machine or the checker),
+//     never an expected outcome.
+//
+// Infeasible schedules (stepping a finished process) are skipped, not
+// failures: the fuzzer's job is to reach deep interleavings, not to learn
+// the feasibility rule.
+func FuzzExploreFidelity(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0}, []byte{0, 1, 0, 1, 0, 1})
+	f.Add([]byte{1, 1, 1, 1, 0, 0, 0, 0}, []byte{1, 1, 0, 0, 1, 0})
+	f.Add([]byte{0, 1, 0}, []byte{0, 0, 0, 1, 1, 1, 1, 1})
+	f.Add([]byte{1, 3, 5, 7, 2, 4, 6, 8, 0, 2}, []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, opBytes, schedBytes []byte) {
+		script := decodeFuzzScript(opBytes)
+		if len(script) == 0 {
+			return
+		}
+
+		// Part 1: sequential model vs real implementation, per machine.
+		seqCheck := func(algo Algo, init func(*State), enq func(int), deq func() (int, bool)) {
+			s := NewState(16)
+			init(s)
+			p := Proc{ID: 0, Algo: algo, Ops: script}
+			for !p.Done() {
+				p.step(s)
+			}
+			for i, op := range script {
+				if op.Enqueue {
+					enq(op.Value)
+					continue
+				}
+				v, ok := deq()
+				m := s.History[i]
+				switch {
+				case !ok && m.Kind != linearizability.DeqEmpty:
+					t.Fatalf("%v op %d: implementation empty, model %v(%d)", algo, i, m.Kind, m.Value)
+				case ok && (m.Kind != linearizability.Deq || m.Value != v):
+					t.Fatalf("%v op %d: implementation %d, model %v(%d)", algo, i, v, m.Kind, m.Value)
+				}
+			}
+		}
+		ms := core.NewMSTagged(15)
+		seqCheck(AlgoMS, InitQueue,
+			func(v int) { ms.Enqueue(uint64(v)) },
+			func() (int, bool) { v, ok := ms.Dequeue(); return int(v), ok })
+		ep := epoch.New(16)
+		seqCheck(AlgoEpoch, func(s *State) { InitEpochQueue(s, 1, false) },
+			func(v int) { ep.Enqueue(uint64(v)) },
+			func() (int, bool) { v, ok := ep.Dequeue(); return int(v), ok })
+		rq := ring.New[int](4)
+		seqCheck(AlgoRing, func(s *State) { InitRingQueue(s, 3) },
+			func(v int) { rq.Enqueue(v) }, rq.Dequeue)
+
+		// Part 2: two-process replay of the fuzzed schedule; the modelled
+		// algorithms are correct, so the checkers must stay silent.
+		var sA, sB []OpSpec
+		for i, op := range script {
+			if i%2 == 0 {
+				sA = append(sA, op)
+			} else {
+				sB = append(sB, op)
+			}
+		}
+		if len(sA) == 0 || len(sB) == 0 {
+			return
+		}
+		if len(schedBytes) > 512 {
+			schedBytes = schedBytes[:512] // plenty to finish both scripts
+		}
+		schedule := make([]int, 0, len(schedBytes))
+		for _, b := range schedBytes {
+			schedule = append(schedule, int(b&1))
+		}
+		for _, cfg := range []Config{
+			{Algo: AlgoMS, Scripts: [][]OpSpec{sA, sB}, ArenaSize: 16, CheckInvariants: CheckMSInvariants},
+			{Algo: AlgoEpoch, Scripts: [][]OpSpec{sA, sB}, ArenaSize: 16, CheckLedger: CheckEpochHeld},
+			{Algo: AlgoRing, Scripts: [][]OpSpec{sA, sB}, ArenaSize: 1, CheckInvariants: CheckRingInvariants},
+		} {
+			res, err := Replay(cfg, schedule)
+			if err != nil {
+				continue // infeasible schedule for this machine's event counts
+			}
+			for _, v := range res.Violations {
+				if v.Kind == "parked" {
+					continue // liveness bookkeeping, not a safety divergence
+				}
+				t.Fatalf("%v replay of %v found %s: %s", cfg.Algo, schedule, v.Kind, v.Detail)
+			}
+		}
+	})
+}

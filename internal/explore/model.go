@@ -75,6 +75,12 @@ type State struct {
 	HLock bool
 	TLock bool
 
+	// Epoch is the epoch-reclamation machine's shared state (AlgoEpoch and
+	// AlgoEpochPinKeyed only; nil elsewhere). Ring is the SCQ-style cycle
+	// machine's (AlgoRing only; nil elsewhere).
+	Epoch *EpochState
+	Ring  *RingState
+
 	Version uint64 // bumped on every shared-memory write
 	Clock   int64  // bumped on every event; history interval endpoints
 
@@ -82,6 +88,72 @@ type State struct {
 	// are not checked and would bloat the memoised states).
 	NoHistory bool
 	History   []linearizability.Op
+}
+
+// EpochState models internal/epoch's Domain: one global epoch word plus a
+// per-process participant record (a pin word and three limbo buckets). The
+// model skips participant pooling — process i always uses Parts[i] — since
+// pooling only redistributes which record a pin lands on.
+type EpochState struct {
+	// Global is the current epoch (the Domain's d.global word).
+	Global uint64
+	// Parts holds one participant per process.
+	Parts []EpochPart
+	// PinKeyed selects the PR-7 bug: limbo buckets keyed by the retirer's
+	// pin epoch instead of the global epoch observed at retire time.
+	PinKeyed bool
+}
+
+// EpochPart is one participant: the published pin word (epoch<<1|1) and
+// the three limbo generations.
+type EpochPart struct {
+	Pin   uint64
+	Limbo [3]EpochBucket
+}
+
+// EpochBucket is one limbo generation: nodes retired while the bucket's
+// keying epoch was Epoch.
+type EpochBucket struct {
+	Epoch   uint64
+	Handles []int32
+}
+
+// clone deep-copies the epoch state.
+func (e *EpochState) clone() *EpochState {
+	c := &EpochState{Global: e.Global, PinKeyed: e.PinKeyed, Parts: make([]EpochPart, len(e.Parts))}
+	for i := range e.Parts {
+		c.Parts[i].Pin = e.Parts[i].Pin
+		for j := range e.Parts[i].Limbo {
+			b := e.Parts[i].Limbo[j]
+			c.Parts[i].Limbo[j] = EpochBucket{Epoch: b.Epoch, Handles: append([]int32(nil), b.Handles...)}
+		}
+	}
+	return c
+}
+
+// RingState models one of internal/ring's indexQueues carrying the script
+// values directly in the slot index field (the outer Ring's fq/aq pairing
+// only moves values out of the CAS word; the protocol under test — cycle
+// CAS, catch-up, threshold — lives entirely in the inner ring).
+type RingState struct {
+	// Order is log2 of the slot count. The model always uses the identity
+	// remap (the real ring's cache remap is a bijection that only matters
+	// for orders > 4).
+	Order uint
+	// Slots holds the packed cycle|unsafe|index+1 words.
+	Slots []uint64
+	// Head and Tail are the FAA reservation counters; Thresh is the
+	// emptiness-detection token counter with its reset ceiling ThreshMax.
+	Head, Tail uint64
+	Thresh     int64
+	ThreshMax  int64
+}
+
+// clone deep-copies the ring state.
+func (r *RingState) clone() *RingState {
+	c := *r
+	c.Slots = append([]uint64(nil), r.Slots...)
+	return &c
 }
 
 // NewState builds an arena of n nodes, all free, with Head and Tail nil;
@@ -109,6 +181,12 @@ func (s *State) Clone() *State {
 		Version:   s.Version,
 		Clock:     s.Clock,
 		NoHistory: s.NoHistory,
+	}
+	if s.Epoch != nil {
+		c.Epoch = s.Epoch.clone()
+	}
+	if s.Ring != nil {
+		c.Ring = s.Ring.clone()
 	}
 	if !s.NoHistory {
 		c.History = append([]linearizability.Op(nil), s.History...)
@@ -250,6 +328,19 @@ func (s *State) key() string {
 		fmt.Fprintf(&b, "%d:%v:%d;", s.Nodes[i].Value, s.Nodes[i].Next, s.Nodes[i].Refct)
 	}
 	fmt.Fprintf(&b, "F%v|H%v|T%v|L%v%v", s.Free, s.Head, s.Tail, s.HLock, s.TLock)
+	if s.Epoch != nil {
+		fmt.Fprintf(&b, "|G%d", s.Epoch.Global)
+		for i := range s.Epoch.Parts {
+			p := &s.Epoch.Parts[i]
+			fmt.Fprintf(&b, "|p%d:%d", i, p.Pin)
+			for j := range p.Limbo {
+				fmt.Fprintf(&b, "(%d:%v)", p.Limbo[j].Epoch, p.Limbo[j].Handles)
+			}
+		}
+	}
+	if s.Ring != nil {
+		fmt.Fprintf(&b, "|R%v h%d t%d th%d", s.Ring.Slots, s.Ring.Head, s.Ring.Tail, s.Ring.Thresh)
+	}
 	return b.String()
 }
 

@@ -31,6 +31,12 @@ func (a Algo) String() string {
 		return "two-lock"
 	case AlgoValois:
 		return "valois"
+	case AlgoEpoch:
+		return "epoch"
+	case AlgoEpochPinKeyed:
+		return "epoch-pinkeyed"
+	case AlgoRing:
+		return "ring"
 	default:
 		return fmt.Sprintf("Algo(%d)", int(a))
 	}
@@ -139,6 +145,19 @@ type Proc struct {
 	retPC  pc
 	held   []int32
 
+	// Epoch-machine extras: the pin epoch observed during the publish loop
+	// (the held slice doubles as the pinned-reference ledger: exactly three
+	// role slots — head, tail, next — holding node indices read from shared
+	// memory under the current pin, -1 when vacant).
+	eEpoch uint64
+
+	// Ring-machine extras: the reserved position, the slot word snapshot
+	// the pending CAS compares against, and the tail snapshot of the
+	// current catch-up attempt.
+	rpos  uint64
+	rslot uint64
+	rtail uint64
+
 	// Scheduling bookkeeping maintained by the explorer.
 	quiet    int    // consecutive steps with the version unchanged throughout
 	anchor   string // local state at the start of the unchanged-version window
@@ -156,12 +175,64 @@ func (p *Proc) Done() bool { return p.cur >= len(p.Ops) && p.pc == pcIdle }
 // diagnostics and memoisation.
 func (p *Proc) localKey() string {
 	key := fmt.Sprintf("%d@%d:pc%d n%d t%v x%v h%v p%v v%d", p.ID, p.cur, p.pc, p.node, p.tail, p.next, p.head, p.prev, p.value)
-	if p.Algo == AlgoValois {
+	switch p.Algo {
+	case AlgoValois:
 		held := append([]int32(nil), p.held...)
 		sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
 		key += fmt.Sprintf(" g%v w%v%v a%v r%v@%d H%v", p.target, p.walk, p.walked, p.adv, p.relCur, p.retPC, held)
+	case AlgoEpoch, AlgoEpochPinKeyed:
+		key += fmt.Sprintf(" e%d H%v", p.eEpoch, p.held)
+	case AlgoRing:
+		key += fmt.Sprintf(" P%d S%d T%d", p.rpos, p.rslot, p.rtail)
 	}
 	return key
+}
+
+// entryPC returns the machine entry point for the process's next scripted
+// operation. It is the single source of truth for dispatch, shared by step
+// (which performs it) and nextAccess (which must predict the first event's
+// location footprint without mutating the process).
+func (p *Proc) entryPC() pc {
+	op := p.Ops[p.cur]
+	switch p.Algo {
+	case AlgoMS:
+		if op.Enqueue {
+			return msEnqAlloc
+		}
+		return msDeqReadHead
+	case AlgoStone:
+		if op.Enqueue {
+			return stEnqAlloc
+		}
+		return stDeqReadHead
+	case AlgoMC:
+		if op.Enqueue {
+			return mcEnqAlloc
+		}
+		return mcDeqReadHead
+	case AlgoTwoLock:
+		if op.Enqueue {
+			return tlEnqAlloc
+		}
+		return tlDeqLock
+	case AlgoValois:
+		if op.Enqueue {
+			return vEnqAlloc
+		}
+		return vDeqReadHeadWord
+	case AlgoEpoch, AlgoEpochPinKeyed:
+		if op.Enqueue {
+			return epEnqPinLoad
+		}
+		return epDeqPinLoad
+	case AlgoRing:
+		if op.Enqueue {
+			return rqEnqFAATail
+		}
+		return rqDeqThresh
+	default:
+		panic(fmt.Sprintf("explore: no entry pc for algorithm %v", p.Algo))
+	}
 }
 
 // step executes exactly one shared-memory event. It reports whether the
@@ -175,45 +246,22 @@ func (p *Proc) step(s *State) (wrote bool) {
 		// Dispatch the next operation; the dispatch itself consumes the
 		// first event of the operation below, so fall through after
 		// setting the entry pc.
-		op := p.Ops[p.cur]
 		p.invoked = now
-		switch p.Algo {
-		case AlgoMS:
-			if op.Enqueue {
-				p.pc = msEnqAlloc
-			} else {
-				p.pc = msDeqReadHead
-			}
-		case AlgoStone:
-			if op.Enqueue {
-				p.pc = stEnqAlloc
-			} else {
-				p.pc = stDeqReadHead
-			}
-		case AlgoMC:
-			if op.Enqueue {
-				p.pc = mcEnqAlloc
-			} else {
-				p.pc = mcDeqReadHead
-			}
-		case AlgoTwoLock:
-			if op.Enqueue {
-				p.pc = tlEnqAlloc
-			} else {
-				p.pc = tlDeqLock
-			}
-		case AlgoValois:
+		if p.Algo == AlgoValois {
 			p.walked = false
-			if op.Enqueue {
-				p.pc = vEnqAlloc
-			} else {
-				p.pc = vDeqReadHeadWord
-			}
 		}
+		p.pc = p.entryPC()
 	}
 
-	if p.Algo == AlgoValois {
+	switch p.Algo {
+	case AlgoValois:
 		p.stepValois(s, now)
+		return s.Version != versionBefore
+	case AlgoEpoch, AlgoEpochPinKeyed:
+		p.stepEpoch(s, now)
+		return s.Version != versionBefore
+	case AlgoRing:
+		p.stepRing(s, now)
 		return s.Version != versionBefore
 	}
 

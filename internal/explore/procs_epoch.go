@@ -1,0 +1,318 @@
+package explore
+
+import (
+	"fmt"
+
+	"msqueue/internal/linearizability"
+)
+
+// AlgoEpoch models internal/epoch: the MS algorithm over counter-less words
+// (sameNode CAS comparisons — epochs, not counters, carry the ABA defence)
+// with a 3-epoch reclamation domain. Each process is its own participant;
+// pin publishes epoch<<1|1 and revalidates the global (the real Pin's
+// publish-then-revalidate loop, three separate events so the pin/advance
+// race is part of the state space); a dequeued dummy is retired into a
+// limbo bucket keyed by the global epoch observed at retire time; every
+// retire then attempts one epoch advance (the model's stand-in for the
+// flush threshold, which real domains cross every DefaultFlushThreshold
+// retires) and flushes the retirer's reclaimable buckets on success.
+//
+// Two scan-shaped operations are single atomic events, the same abstraction
+// the arena free list gets (see the package comment): the advance's
+// participant scan plus global CAS, and a bucket flush. What the
+// abstraction hides is interleavings *inside* a scan; what it keeps — and
+// what the PR-7 bug needs — is every interleaving of pins, retires,
+// advances and flushes against each other.
+//
+// AlgoEpochPinKeyed is the same machine with PR 7's reverted bug: the limbo
+// bucket is keyed by the retirer's *pin* epoch. A reader pinned one epoch
+// past the retirer can then hold the retired node without blocking the two
+// advances that free a pin-keyed bucket, and CheckEpochHeld reports the
+// node freed while held.
+const (
+	AlgoEpoch         Algo = 200
+	AlgoEpochPinKeyed Algo = 201
+)
+
+// Program counters of the epoch machine.
+const (
+	epEnqPinLoad pc = 200 + iota
+	epEnqPinPublish
+	epEnqPinCheck
+	epEnqAlloc
+	epEnqReadTail
+	epEnqReadNext
+	epEnqCheck
+	epEnqCASNext
+	epEnqHelp
+	epEnqSwing
+	epEnqUnpin
+
+	epDeqPinLoad
+	epDeqPinPublish
+	epDeqPinCheck
+	epDeqReadHead
+	epDeqReadTail
+	epDeqReadNext
+	epDeqCheck
+	epDeqHelp
+	epDeqReadValue
+	epDeqCASHead
+	epDeqRetire
+	epDeqAdvance
+	epDeqUnpin
+	epDeqEmptyUnpin
+)
+
+// Role slots of the epoch machine's held ledger (p.held).
+const (
+	eHeldHead = iota
+	eHeldTail
+	eHeldNext
+	eHeldRoles
+)
+
+// eHold records that the given role's shared reference now points at node
+// idx; the previous occupant of the role is no longer protected (the
+// machine has re-read it and will not dereference the old value again).
+func (p *Proc) eHold(role int, idx int32) { p.held[role] = idx }
+
+// part returns the process's own participant.
+func (p *Proc) part(s *State) *EpochPart { return &s.Epoch.Parts[p.ID] }
+
+// epochFlushOwn frees every reclaimable bucket of p's participant (epoch+2
+// at or below the global) as one atomic event per call site, mirroring the
+// Domain's flushOwn. It reports whether anything was freed.
+func epochFlushOwn(s *State, p *Proc) bool {
+	g := s.Epoch.Global
+	part := p.part(s)
+	freed := false
+	for i := range part.Limbo {
+		b := &part.Limbo[i]
+		if len(b.Handles) > 0 && b.Epoch+2 <= g {
+			for _, h := range b.Handles {
+				s.freeNode(h)
+			}
+			b.Handles = b.Handles[:0]
+			freed = true
+		}
+	}
+	return freed
+}
+
+// epochAdvance is the Domain.Advance scan as one atomic event: fail if any
+// participant is pinned at an older epoch, else bump the global.
+func epochAdvance(s *State) bool {
+	e := s.Epoch.Global
+	for i := range s.Epoch.Parts {
+		if pin := s.Epoch.Parts[i].Pin; pin&1 == 1 && pin>>1 != e {
+			return false
+		}
+	}
+	s.Epoch.Global = e + 1
+	s.wrote()
+	return true
+}
+
+// stepEpoch executes one event of the epoch machine. It is called from
+// Proc.step for AlgoEpoch and AlgoEpochPinKeyed.
+func (p *Proc) stepEpoch(s *State, now int64) {
+	switch p.pc {
+	// --- pin (shared by both operations; the enqueue entry) ---
+	case epEnqPinLoad, epDeqPinLoad:
+		p.eEpoch = s.Epoch.Global
+		p.held = []int32{-1, -1, -1}
+		if p.pc == epEnqPinLoad {
+			p.pc = epEnqPinPublish
+		} else {
+			p.pc = epDeqPinPublish
+		}
+	case epEnqPinPublish, epDeqPinPublish:
+		p.part(s).Pin = p.eEpoch<<1 | 1
+		s.wrote()
+		if p.pc == epEnqPinPublish {
+			p.pc = epEnqPinCheck
+		} else {
+			p.pc = epDeqPinCheck
+		}
+	case epEnqPinCheck, epDeqPinCheck:
+		if s.Epoch.Global != p.eEpoch {
+			// Revalidate failed: retry with the newer epoch.
+			if p.pc == epEnqPinCheck {
+				p.pc = epEnqPinLoad
+			} else {
+				p.pc = epDeqPinLoad
+			}
+			break
+		}
+		// Pinned. The real Pin opportunistically flushes the participant's
+		// reclaimable limbo here; merged into this event.
+		epochFlushOwn(s, p)
+		if p.pc == epEnqPinCheck {
+			p.pc = epEnqAlloc
+		} else {
+			p.pc = epDeqReadHead
+		}
+
+	// --- enqueue: MS lines E1–E13 over counter-less words ---
+	case epEnqAlloc:
+		idx, ok := s.alloc()
+		if !ok {
+			break // model arenas are sized so this cannot happen (see Run)
+		}
+		p.node = idx
+		s.Nodes[idx].Value = p.Ops[p.cur].Value
+		p.pc = epEnqReadTail
+	case epEnqReadTail:
+		p.tail = s.Tail
+		p.eHold(eHeldTail, p.tail.Idx)
+		p.pc = epEnqReadNext
+	case epEnqReadNext:
+		p.next = s.Nodes[p.tail.Idx].Next
+		p.eHold(eHeldNext, p.next.Idx)
+		p.pc = epEnqCheck
+	case epEnqCheck:
+		switch {
+		case !sameNode(s.Tail, p.tail):
+			p.pc = epEnqReadTail
+		case p.next.IsNil():
+			p.pc = epEnqCASNext
+		default:
+			p.pc = epEnqHelp
+		}
+	case epEnqCASNext:
+		if sameNode(s.Nodes[p.tail.Idx].Next, p.next) {
+			s.setNext(p.tail.Idx, Ref{Idx: p.node})
+			p.pc = epEnqSwing
+		} else {
+			p.pc = epEnqReadTail
+		}
+	case epEnqHelp:
+		s.casTail(p.tail, Ref{Idx: p.next.Idx}, false)
+		p.pc = epEnqReadTail
+	case epEnqSwing:
+		s.casTail(p.tail, Ref{Idx: p.node}, false)
+		p.pc = epEnqUnpin
+	case epEnqUnpin:
+		part := p.part(s)
+		part.Pin &^= 1
+		s.wrote()
+		p.held = nil
+		p.complete(s, linearizability.Enq, p.Ops[p.cur].Value, now)
+
+	// --- dequeue: MS lines D1–D15, retire instead of free ---
+	case epDeqReadHead:
+		p.head = s.Head
+		p.eHold(eHeldHead, p.head.Idx)
+		p.pc = epDeqReadTail
+	case epDeqReadTail:
+		p.tail = s.Tail
+		p.eHold(eHeldTail, p.tail.Idx)
+		p.pc = epDeqReadNext
+	case epDeqReadNext:
+		p.next = s.Nodes[p.head.Idx].Next
+		p.eHold(eHeldNext, p.next.Idx)
+		p.pc = epDeqCheck
+	case epDeqCheck:
+		switch {
+		case !sameNode(s.Head, p.head):
+			p.pc = epDeqReadHead
+		case p.head.Idx == p.tail.Idx && p.next.IsNil():
+			p.pc = epDeqEmptyUnpin
+		case p.head.Idx == p.tail.Idx:
+			p.pc = epDeqHelp
+		default:
+			p.pc = epDeqReadValue
+		}
+	case epDeqHelp:
+		s.casTail(p.tail, Ref{Idx: p.next.Idx}, false)
+		p.pc = epDeqReadHead
+	case epDeqReadValue:
+		p.value = s.Nodes[p.next.Idx].Value
+		p.pc = epDeqCASHead
+	case epDeqCASHead:
+		if s.casHead(p.head, Ref{Idx: p.next.Idx}, false) {
+			p.pc = epDeqRetire
+		} else {
+			p.pc = epDeqReadHead
+		}
+	case epDeqRetire:
+		// Key the bucket by the global epoch observed after the unlink
+		// (shipped), or by the pin epoch (the PR-7 bug under test). The
+		// stale-bucket free mirrors Domain.Retire: same residue, older
+		// epoch — always past the horizon.
+		e := s.Epoch.Global
+		if s.Epoch.PinKeyed {
+			e = p.eEpoch
+		}
+		b := &p.part(s).Limbo[e%3]
+		if b.Epoch != e && len(b.Handles) > 0 {
+			for _, h := range b.Handles {
+				s.freeNode(h)
+			}
+			b.Handles = b.Handles[:0]
+		}
+		b.Epoch = e
+		b.Handles = append(b.Handles, p.head.Idx)
+		s.wrote()
+		p.pc = epDeqAdvance
+	case epDeqAdvance:
+		// The model advances on every retire (threshold 1): the flush
+		// threshold only sets how often real domains reach this code.
+		if epochAdvance(s) {
+			epochFlushOwn(s, p)
+		}
+		p.pc = epDeqUnpin
+	case epDeqUnpin:
+		p.part(s).Pin &^= 1
+		s.wrote()
+		p.held = nil
+		p.complete(s, linearizability.Deq, p.value, now)
+	case epDeqEmptyUnpin:
+		p.part(s).Pin &^= 1
+		s.wrote()
+		p.held = nil
+		p.complete(s, linearizability.DeqEmpty, 0, now)
+
+	default:
+		panic(fmt.Sprintf("explore: epoch process %d at impossible pc %d", p.ID, p.pc))
+	}
+}
+
+// CheckEpochHeld is the freed-while-held detector, the model-level form of
+// the epoch scheme's one guarantee: a node read from shared memory by a
+// pinned participant stays allocated until that participant unpins. In
+// every reachable state, no node index in a currently-pinned process's held
+// ledger may sit on the free list. The shipped retire-time-global keying
+// passes this in every interleaving; the pin-keyed variant reaches a state
+// where an advance pair frees a bucket whose handle a pinned reader still
+// holds. Wire it through Config.CheckLedger.
+func CheckEpochHeld(s *State, procs []Proc) error {
+	for pi := range procs {
+		p := &procs[pi]
+		if len(p.held) != eHeldRoles {
+			continue // not pinned (ledger exists only between pin and unpin)
+		}
+		if p.part(s).Pin&1 != 1 {
+			continue
+		}
+		for role, idx := range p.held {
+			if idx < 0 {
+				continue
+			}
+			if s.isFree(idx) {
+				return fmt.Errorf(
+					"epoch: node %d freed while process %d (pinned at %d, global %d) still holds it (role %d); held %v, state %s",
+					idx, p.ID, p.part(s).Pin>>1, s.Epoch.Global, role, p.held, s.key())
+			}
+		}
+	}
+	return nil
+}
+
+// InitEpochQueue is InitQueue plus the epoch domain: one participant per
+// process, global epoch zero. pinKeyed selects the PR-7 bug variant.
+func InitEpochQueue(s *State, procs int, pinKeyed bool) {
+	InitQueue(s)
+	s.Epoch = &EpochState{Parts: make([]EpochPart, procs), PinKeyed: pinKeyed}
+}

@@ -189,6 +189,17 @@ func (t *TimedGate) TimedOut() bool { return t.timedOut.Load() }
 type NthGate struct {
 	point Point
 
+	// OnStall, when non-nil, is invoked by the n-th visitor itself,
+	// immediately before it signals Entered and parks. Because it runs on
+	// the stalling goroutine there is no scheduling gap between the
+	// snapshot it takes and the park: the chaos engine uses it to sample
+	// its group progress counter at the exact instant of the crash, which
+	// a separate monitor goroutine cannot do (on a single-core race-mode
+	// runner the monitor can be starved long enough for the peers to burn
+	// through their whole post-crash budget before it wakes). Set it
+	// before the gate is shared.
+	OnStall func()
+
 	mu        sync.Mutex
 	remaining int
 	entered   chan struct{}
@@ -228,6 +239,9 @@ func (g *NthGate) At(p Point) {
 	entered, released := g.entered, g.released
 	g.mu.Unlock()
 	if hit {
+		if g.OnStall != nil {
+			g.OnStall()
+		}
 		close(entered)
 		<-released
 	}
