@@ -61,6 +61,7 @@ func run(args []string) error {
 		quiet      = fs.Bool("quiet", false, "suppress per-point progress lines")
 		netAddr    = fs.String("net", "", "benchmark a running qserve at this address instead of in-process queues")
 		dur        = fs.Duration("dur", 3*time.Second, "duration of the -net load run")
+		dialTO     = fs.Duration("dialtimeout", 5*time.Second, "bound each -net dial attempt (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +89,8 @@ func run(args []string) error {
 		return fmt.Errorf("-net benchmarks whatever algorithm the server at %s is running; it does not combine with -figure, -experiment, -metrics, -csv, -algos or -shards", *netAddr)
 	case *dur <= 0:
 		return fmt.Errorf("-dur must be positive, got %v", *dur)
+	case *dialTO < 0:
+		return fmt.Errorf("-dialtimeout must be >= 0, got %v", *dialTO)
 	case *metricsRep && *experiment != "":
 		return fmt.Errorf("-metrics runs its own probed pass and does not combine with -experiment %q", *experiment)
 	}
@@ -102,7 +105,7 @@ func run(args []string) error {
 	}
 
 	if *netAddr != "" {
-		return netBench(*netAddr, *procs, *dur, *quiet)
+		return netBench(*netAddr, *procs, *dur, *dialTO, *quiet)
 	}
 
 	if *experiment != "" {

@@ -17,8 +17,11 @@ import (
 // so a qserve that is SIGTERMed afterwards (the CI smoke job) finishes
 // its drain with backlog 0 instead of waiting for a consumer that never
 // comes.
-func netBench(addr string, workers int, dur time.Duration, quiet bool) error {
+func netBench(addr string, workers int, dur, dialTimeout time.Duration, quiet bool) error {
 	probe := metrics.NewProbe()
+	mkClient := func() *client.Client {
+		return client.New(client.Config{Addr: addr, DialTimeout: dialTimeout})
+	}
 	var enqs, deqs, empties, dials atomic.Int64
 
 	deadline := time.Now().Add(dur)
@@ -28,11 +31,7 @@ func netBench(addr string, workers int, dur time.Duration, quiet bool) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
-			if err != nil {
-				errCh <- fmt.Errorf("worker %d: %w", w, err)
-				return
-			}
+			c := mkClient()
 			defer c.Close()
 			defer func() { dials.Add(int64(c.Dials())) }()
 			v := w << 24
@@ -74,10 +73,7 @@ func netBench(addr string, workers int, dur time.Duration, quiet bool) error {
 
 	// Drain the residue (one outstanding element per empty dequeue) so the
 	// server is left with an empty queue.
-	c, err := client.Dial(addr)
-	if err != nil {
-		return fmt.Errorf("drain connection: %w", err)
-	}
+	c := mkClient()
 	defer c.Close()
 	drained := 0
 	for {

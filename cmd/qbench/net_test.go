@@ -26,7 +26,7 @@ func startQserve(t *testing.T) string {
 // generator itself asserts conservation and nonzero throughput.
 func TestNetBench(t *testing.T) {
 	addr := startQserve(t)
-	if err := netBench(addr, 2, 150*time.Millisecond, false); err != nil {
+	if err := netBench(addr, 2, 150*time.Millisecond, time.Second, false); err != nil {
 		t.Fatalf("netBench: %v", err)
 	}
 }

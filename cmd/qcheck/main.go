@@ -14,6 +14,16 @@
 // peers keep completing operations — and the per-entry outcomes are
 // printed as a table.
 //
+// With -netchaos the axis is the network: a seeded fault-injection proxy
+// (internal/netchaos) sits between real clients and a real server on
+// loopback TCP and fires the full fault matrix — resets, mid-frame
+// tears, torn writes, single-byte corruption, latency, blackholes —
+// while workers push acknowledged enqueues through the storm. After a
+// clean drain the per-fault-class conservation verdict is printed: no
+// acked operation lost, no fabricated value applied, duplicates bounded
+// by the clients' resend windows, corruption always detected by the
+// wire checksum.
+//
 // Usage examples:
 //
 //	qcheck -algo ms                       # stress + check the MS queue
@@ -23,6 +33,7 @@
 //	qcheck -algo sharded                  # relaxed-contract check
 //	qcheck -chaos -algo all               # verify every declared guarantee
 //	qcheck -chaos -short -seed 7          # reduced CI sweep, replayable
+//	qcheck -netchaos -short -seed 1       # network fault-matrix sweep
 package main
 
 import (
@@ -59,6 +70,7 @@ func run(args []string) (int, error) {
 		capacity  = fs.Int("cap", 1<<16, "node capacity for bounded (tagged) queues")
 		maxShow   = fs.Int("show", 5, "violations to print per round")
 		chaosMode = fs.Bool("chaos", false, "verify declared progress guarantees (crash-stop + delay adversaries) instead of linearizability")
+		netMode   = fs.Bool("netchaos", false, "verify conservation across the network fault matrix (netchaos proxy between client and server) instead of linearizability")
 		seed      = fs.Int64("seed", 0, "chaos adversary seed; 0 derives one from the clock (printed for replay)")
 		short     = fs.Bool("short", false, "reduced chaos workload (CI sizes)")
 		watchdog  = fs.Duration("watchdog", 4*time.Minute, "per-algorithm watchdog; an algorithm that has not finished within this long fails (0 disables)")
@@ -77,6 +89,10 @@ func run(args []string) (int, error) {
 		return 1, fmt.Errorf("-rounds must be >= 1, got %d", *rounds)
 	case *capacity < 1:
 		return 1, fmt.Errorf("-cap must be >= 1, got %d", *capacity)
+	}
+
+	if *netMode {
+		return runNetChaos(*seed, *procs, *short, *watchdog)
 	}
 
 	infos, err := cliutil.Select(*algo)

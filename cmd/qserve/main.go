@@ -58,6 +58,7 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal, onReady func(n
 		maxConns   = fs.Int("maxconns", 0, "connection limit (0 = unlimited); over-limit dials are refused with ERR")
 		retryHint  = fs.Duration("hint", server.DefaultRetryHint, "base backoff hint carried in RETRY frames")
 		idle       = fs.Duration("idle", 0, "close connections idle longer than this (0 = never; frees -maxconns slots pinned by dead clients)")
+		writeTO    = fs.Duration("writetimeout", 0, "bound each write/flush to a connection (0 = never; a stalled reader otherwise pins its writer and the drain)")
 		drainTime  = fs.Duration("drain", 10*time.Second, "drain deadline on shutdown; backlog still undelivered after this is reported lost")
 		metricsRep = fs.Bool("metrics", false, "serve with a contention probe and print the report on shutdown")
 		list       = fs.Bool("list", false, "list the servable algorithms and exit")
@@ -81,6 +82,8 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal, onReady func(n
 		return fmt.Errorf("-drain must be positive, got %v", *drainTime)
 	case *idle < 0:
 		return fmt.Errorf("-idle must be >= 0, got %v", *idle)
+	case *writeTO < 0:
+		return fmt.Errorf("-writetimeout must be >= 0, got %v", *writeTO)
 	}
 
 	info, err := cliutil.SelectOne(*algo)
@@ -103,11 +106,12 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal, onReady func(n
 		fmt.Fprintf(stdout, "qserve: "+format+"\n", a...)
 	}
 	s := server.New(server.Config{
-		Queue:       q,
-		MaxConns:    *maxConns,
-		RetryHint:   *retryHint,
-		IdleTimeout: *idle,
-		Probe:       probe,
+		Queue:        q,
+		MaxConns:     *maxConns,
+		RetryHint:    *retryHint,
+		IdleTimeout:  *idle,
+		WriteTimeout: *writeTO,
+		Probe:        probe,
 		Logf: func(format string, a ...any) {
 			if !*quiet {
 				logf(format, a...)

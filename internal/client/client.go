@@ -20,8 +20,12 @@
 //     interval, jittered, and resend) or the server is draining (give
 //     up: ErrDraining). The connection is healthy; reconnecting would be
 //     wrong.
-//   - Connection errors mean the request's fate is unknown. The client
-//     redials with jittered backoff and resends requests that never got
+//   - Connection errors mean the request's fate is unknown. Detected
+//     corruption (wire.ErrChecksum) and version desync (wire.ErrBadMagic)
+//     are connection errors too: a stream that carried one lying byte
+//     cannot be trusted to carry the next frame, so it is torn down, not
+//     resynchronised. The client redials with jittered backoff and
+//     resends requests that never got
 //     a response. For enqueues this is at-least-once: an enqueue whose
 //     ACK was lost in the failure window may be applied twice. What can
 //     never happen is a resend after the ACK arrived — response
@@ -38,6 +42,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msqueue/internal/backoff"
@@ -58,6 +63,13 @@ type Config struct {
 	Addr string
 	// Dial overrides how connections are made (tests use net.Pipe).
 	Dial func() (net.Conn, error)
+	// DialTimeout, when positive, bounds how long one dial attempt may
+	// take before it fails like any other connection error. A blackholed
+	// SYN — a peer that neither accepts nor refuses — would otherwise
+	// wedge the first operation forever; with a bound it falls over to
+	// the reconnect backoff like a refused dial. Applies to the default
+	// TCP dialer and to a custom Dial alike. 0 means no bound.
+	DialTimeout time.Duration
 	// MaxReconnects bounds consecutive redial attempts for one operation
 	// before it fails (default 8). Each attempt waits a jittered,
 	// exponentially growing interval.
@@ -65,12 +77,14 @@ type Config struct {
 	// ReconnectMin and ReconnectMax override the redial backoff bounds
 	// (defaults backoff.DefaultMinSleep/DefaultMaxSleep).
 	ReconnectMin, ReconnectMax time.Duration
-	// OpTimeout, when positive, bounds how long one attempt waits for its
-	// response frame. A server that stops responding without closing the
-	// connection would otherwise block the caller forever; on timeout the
-	// connection is dropped and the attempt retried like any connection
-	// failure (the request's fate is unknown — the usual at-least-once
-	// window applies). 0 means wait indefinitely.
+	// OpTimeout, when positive, bounds one attempt end to end: the
+	// request write (as a write deadline on the connection) and the wait
+	// for the response frame. A server that stops responding — or a
+	// blackholed link that accepts no bytes at all — would otherwise
+	// block the caller forever; on timeout the connection is dropped and
+	// the attempt retried like any connection failure (the request's
+	// fate is unknown — the usual at-least-once window applies). 0 means
+	// wait indefinitely.
 	OpTimeout time.Duration
 	// Logf, when non-nil, receives reconnect diagnostics.
 	Logf func(format string, args ...any)
@@ -81,6 +95,16 @@ const defaultMaxReconnects = 8
 // Client is a connection to one queue server. Safe for concurrent use.
 type Client struct {
 	cfg Config
+
+	// resends counts attempts retried after their request frame had
+	// (possibly) left for the server — the exact size of the
+	// at-least-once window: every duplicate a netchaos sweep may observe
+	// must be attributable to one of these.
+	resends atomic.Int64
+	// corruptions counts connections dropped on a detected wire-integrity
+	// failure (checksum mismatch or bad magic): the client-side mirror of
+	// the server's metrics.WireCorrupt site.
+	corruptions atomic.Int64
 
 	mu     sync.Mutex
 	conn   *connHandle
@@ -107,13 +131,55 @@ type connHandle struct {
 // New returns a Client for cfg; the first operation dials.
 func New(cfg Config) *Client {
 	if cfg.Dial == nil {
-		addr := cfg.Addr
-		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		addr, timeout := cfg.Addr, cfg.DialTimeout
+		if timeout > 0 {
+			cfg.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
+		} else {
+			cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		}
+	} else if cfg.DialTimeout > 0 {
+		cfg.Dial = dialWithTimeout(cfg.Dial, cfg.DialTimeout)
 	}
 	if cfg.MaxReconnects <= 0 {
 		cfg.MaxReconnects = defaultMaxReconnects
 	}
 	return &Client{cfg: cfg}
+}
+
+// dialWithTimeout bounds an arbitrary dial function: if it has not
+// returned within d, the attempt fails (and a connection that arrives
+// late is closed, not leaked). This is what keeps a custom dialer — a
+// proxy, a pipe factory, a netchaos wrapper — under the same liveness
+// bound as the default TCP dialer.
+func dialWithTimeout(dial func() (net.Conn, error), d time.Duration) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		type result struct {
+			conn net.Conn
+			err  error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			conn, err := dial()
+			ch <- result{conn, err} // buffered: never blocks
+		}()
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case r := <-ch:
+			return r.conn, r.err
+		case <-timer.C:
+			// The attempt is abandoned; a connection that arrives late is
+			// closed, not leaked. The reaper blocks only as long as the
+			// dial itself — the unavoidable cost of cancelling an
+			// uncancellable function.
+			go func() {
+				if r := <-ch; r.conn != nil {
+					r.conn.Close()
+				}
+			}()
+			return nil, fmt.Errorf("client: dial timed out after %v", d)
+		}
+	}
 }
 
 // Dial returns a connected Client for the TCP address.
@@ -133,6 +199,18 @@ func (c *Client) Dials() int {
 	defer c.mu.Unlock()
 	return c.dials
 }
+
+// Resends reports how many attempts were retried after their request
+// frame had (possibly) reached the server — the size of the
+// at-least-once window. A conservation checker may see at most this many
+// duplicated enqueues; any more is a bug.
+func (c *Client) Resends() int64 { return c.resends.Load() }
+
+// Corruptions reports how many connections this client dropped on a
+// detected wire-integrity failure (checksum mismatch or bad magic byte).
+// Corruption is classified as a connection error — redial and resend —
+// never as a response.
+func (c *Client) Corruptions() int64 { return c.corruptions.Load() }
 
 // Close tears down the connection and fails in-flight requests.
 func (c *Client) Close() error {
@@ -189,6 +267,15 @@ func (c *Client) readLoop(h *connHandle) {
 	for {
 		f, newBuf, err := wire.Read(h.conn, buf)
 		if err != nil {
+			// A checksum or magic failure means the stream carried bytes
+			// that are not the frame the server sent: the response (and
+			// everything after it) is untrustworthy. Classified as a
+			// connection error — the pending table resolves by handle
+			// death and the attempts resend on a fresh connection.
+			if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrBadMagic) {
+				c.corruptions.Add(1)
+				c.logf("dropping connection on wire integrity failure: %v", err)
+			}
 			c.dropConn(h, fmt.Errorf("client: connection lost: %w", err))
 			return
 		}
@@ -267,9 +354,18 @@ func (c *Client) roundTrip(build func(id uint64) wire.Frame) (wire.Frame, error)
 		}
 		f := build(id)
 		h.wmu.Lock()
+		// OpTimeout bounds the write too, not just the response wait: a
+		// blackholed peer that accepts no bytes would otherwise wedge
+		// this attempt before the await even starts.
+		if c.cfg.OpTimeout > 0 {
+			h.conn.SetWriteDeadline(time.Now().Add(c.cfg.OpTimeout))
+		}
 		err = wire.Write(h.conn, f)
 		h.wmu.Unlock()
 		if err != nil {
+			// The frame may have partially left before the write failed,
+			// so this retry is inside the at-least-once window too.
+			c.resends.Add(1)
 			c.dropConn(h, fmt.Errorf("client: write: %w", err))
 			lastErr = err
 			continue
@@ -279,6 +375,7 @@ func (c *Client) roundTrip(build func(id uint64) wire.Frame) (wire.Frame, error)
 			// The server went silent without closing the connection. Drop
 			// it so the next attempt redials; the request's fate is
 			// unknown, like any connection failure.
+			c.resends.Add(1)
 			lastErr = fmt.Errorf("client: no response within %v", c.cfg.OpTimeout)
 			c.dropConn(h, lastErr)
 			c.logf("%v request timed out after %v", f.Type, c.cfg.OpTimeout)
@@ -288,6 +385,7 @@ func (c *Client) roundTrip(build func(id uint64) wire.Frame) (wire.Frame, error)
 			// The connection died before this request's response. Its
 			// fate is unknown; resend on a fresh connection
 			// (at-least-once — see the package comment).
+			c.resends.Add(1)
 			lastErr = h.err
 			c.logf("%v request resent after %v", f.Type, h.err)
 			continue

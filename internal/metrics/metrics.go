@@ -117,10 +117,21 @@ const (
 	// EpochFlush counts limbo handles handed back to the free function once
 	// the epoch rule proved them unreachable.
 	EpochFlush
+	// NetFault counts faults injected by the netchaos proxy
+	// (internal/netchaos): resets, torn writes, corruptions, latency,
+	// blackholes. Zero outside fault-injection runs.
+	NetFault
+	// WireCorrupt counts frames the server rejected with a checksum
+	// mismatch or bad magic byte (wire.ErrChecksum / wire.ErrBadMagic):
+	// corruption *detected* — the connection is torn down instead of the
+	// bytes being misread as a frame. Compare against NetFault's corrupt
+	// injections in a netchaos sweep.
+	WireCorrupt
 
-	// NumSites is the number of instrumented sites. The epoch sites sit
-	// after the wire sites so the Retries() range stays contiguous.
-	NumSites = int(EpochFlush) + 1
+	// NumSites is the number of instrumented sites. The epoch and netchaos
+	// sites sit after the wire sites so the Retries() range stays
+	// contiguous.
+	NumSites = int(WireCorrupt) + 1
 )
 
 // String returns the report label of the site.
@@ -168,6 +179,10 @@ func (s Site) String() string {
 		return "epoch advances"
 	case EpochFlush:
 		return "epoch limbo handles flushed"
+	case NetFault:
+		return "net faults injected (netchaos)"
+	case WireCorrupt:
+		return "wire corruption detected (checksum)"
 	default:
 		return fmt.Sprintf("Site(%d)", uint8(s))
 	}

@@ -1,0 +1,305 @@
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"msqueue/internal/wire"
+)
+
+// tcpPair returns the two ends of one loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-accepted
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+// TestDeterministicDecisionStream: two injectors with the same seed and
+// rates produce identical fault sequences — the replay property every
+// printed seed relies on.
+func TestDeterministicDecisionStream(t *testing.T) {
+	mk := func() *Injector {
+		cfg := Config{Seed: 42}
+		cfg.Rates[Reset] = 0.1
+		cfg.Rates[TornWrite] = 0.2
+		cfg.Rates[Corrupt] = 0.2
+		return New(cfg)
+	}
+	a, b := mk(), mk()
+	var injected int
+	for i := 0; i < 4096; i++ {
+		fa, fb := a.draw(), b.draw()
+		if fa != fb {
+			t.Fatalf("draw %d: %v vs %v from the same seed", i, fa, fb)
+		}
+		if fa != None {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no fault injected in 4096 draws at ~50% total rate")
+	}
+	if a.Total() != int64(injected) {
+		t.Fatalf("Total = %d, want %d", a.Total(), injected)
+	}
+
+	// A different seed must produce a different sequence (overwhelmingly).
+	c := New(Config{Seed: 43, Rates: a.cfg.Rates})
+	same := 0
+	for i := 0; i < 4096; i++ {
+		if New(Config{Seed: 42, Rates: a.cfg.Rates}).draw() == c.draw() {
+			same++
+		}
+	}
+	if same == 4096 {
+		t.Fatal("seeds 42 and 43 produced identical sequences")
+	}
+}
+
+// TestTornWriteReassembles: a write split at a fault-chosen byte is
+// invisible to a frame reader — io.ReadFull reassembles, nothing errors.
+func TestTornWriteReassembles(t *testing.T) {
+	cw, sr := tcpPair(t)
+	cfg := Rate(TornWrite, 1)
+	cfg.Seed = 7
+	cfg.MaxLatency = 200 * time.Microsecond
+	in := New(cfg)
+	wrapped := in.WrapConn(cw)
+
+	const frames = 20
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := wire.Write(wrapped, wire.EnqFrame(uint64(i), int64(i*3))); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+
+	var buf []byte
+	for i := 0; i < frames; i++ {
+		f, nb, err := wire.Read(sr, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = nb
+		if f.ID != uint64(i) {
+			t.Fatalf("frame %d arrived with id %d", i, f.ID)
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if in.Count(TornWrite) == 0 {
+		t.Fatal("no torn write injected at rate 1")
+	}
+}
+
+// TestCorruptionIsDetectedNeverMisparsed: every frame written through a
+// corrupt-always connection must surface at the reader as an error —
+// checksum, magic, length or truncation — never as a parsed frame with
+// altered contents.
+func TestCorruptionIsDetectedNeverMisparsed(t *testing.T) {
+	cw, sr := tcpPair(t)
+	cfg := Rate(Corrupt, 1)
+	cfg.Seed = 11
+	in := New(cfg)
+	wrapped := in.WrapConn(cw)
+
+	payload := bytes.Repeat([]byte{0x5a}, 64)
+	go func() {
+		wire.Write(wrapped, wire.Frame{Type: wire.Enq, ID: 1, Payload: payload})
+		cw.Close()
+	}()
+
+	f, _, err := wire.Read(sr, nil)
+	if err == nil {
+		t.Fatalf("corrupted frame parsed as %v id=%d", f.Type, f.ID)
+	}
+	if in.Count(Corrupt) == 0 {
+		t.Fatal("no corruption injected at rate 1")
+	}
+}
+
+// TestMidFrameResetTearsCleanly: the reader of a frame cut by a
+// mid-frame reset sees a truncation or connection error, not a frame.
+func TestMidFrameResetTearsCleanly(t *testing.T) {
+	cw, sr := tcpPair(t)
+	cfg := Rate(MidFrameReset, 1)
+	cfg.Seed = 13
+	in := New(cfg)
+	wrapped := in.WrapConn(cw)
+
+	_, werr := wrapped.Write(mustEncode(t, wire.EnqFrame(9, 99)))
+	if werr == nil {
+		t.Fatal("mid-frame reset reported a clean write")
+	}
+
+	f, _, err := wire.Read(sr, nil)
+	if err == nil {
+		t.Fatalf("torn frame parsed as %v id=%d", f.Type, f.ID)
+	}
+	if err != io.ErrUnexpectedEOF && !errors.Is(err, io.EOF) {
+		// Depending on how much of the header survived, the reader sees a
+		// truncated stream or a clean close — both are teardown, never a
+		// frame.
+		t.Logf("torn frame surfaced as %v (acceptable: any error)", err)
+	}
+}
+
+// TestBlackholeHonorsDeadlineAndClose: a blackholed operation blocks
+// until its deadline fires (as a net.Error timeout) and the connection
+// stays silent afterwards; Close releases a stalled operation.
+func TestBlackholeHonorsDeadlineAndClose(t *testing.T) {
+	cw, _ := tcpPair(t)
+	cfg := Rate(Blackhole, 1)
+	cfg.Seed = 17
+	in := New(cfg)
+	wrapped := in.WrapConn(cw)
+
+	wrapped.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := wrapped.Read(make([]byte, 16))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackholed read = %v, want net.Error timeout", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatalf("blackholed read returned after %v, before the deadline", time.Since(start))
+	}
+
+	// The connection is sticky-silent: a write also stalls, and Close
+	// releases it.
+	wrapped.SetWriteDeadline(time.Time{}) // no deadline: only Close can release
+	released := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Write([]byte("x"))
+		released <- err
+	}()
+	select {
+	case err := <-released:
+		t.Fatalf("write on a blackholed conn returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	wrapped.Close()
+	select {
+	case err := <-released:
+		if err == nil {
+			t.Fatal("released write reported success on a blackholed conn")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not release the stalled write")
+	}
+}
+
+// TestResetClosesImmediately: a Reset draw kills the connection before
+// any bytes move, and the peer observes the close.
+func TestResetClosesImmediately(t *testing.T) {
+	cw, sr := tcpPair(t)
+	cfg := Rate(Reset, 1)
+	cfg.Seed = 19
+	in := New(cfg)
+	wrapped := in.WrapConn(cw)
+
+	if _, err := wrapped.Write([]byte("hello")); err == nil {
+		t.Fatal("write on reset-always conn succeeded")
+	}
+	sr.SetReadDeadline(time.Now().Add(time.Second))
+	if n, err := sr.Read(make([]byte, 8)); err == nil {
+		t.Fatalf("peer read %d bytes from a reset conn", n)
+	}
+}
+
+// TestDisableQuiesces: after Disable, operations pass through untouched —
+// the drain phase of a sweep must see a clean network.
+func TestDisableQuiesces(t *testing.T) {
+	cw, sr := tcpPair(t)
+	cfg := Rate(Reset, 1)
+	cfg.Seed = 23
+	in := New(cfg)
+	in.Disable()
+	wrapped := in.WrapConn(cw)
+
+	go wire.Write(wrapped, wire.EnqFrame(5, 55))
+	f, _, err := wire.Read(sr, nil)
+	if err != nil || f.ID != 5 {
+		t.Fatalf("Read through disabled injector = %v, %v; want clean frame id=5", f, err)
+	}
+	if in.Total() != 0 {
+		t.Fatalf("disabled injector injected %d fault(s)", in.Total())
+	}
+}
+
+// TestListenerAndDialerWrap: both attachment points produce wrapped
+// connections drawing from the same stream.
+func TestListenerAndDialerWrap(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cfg := Rate(Latency, 1)
+	cfg.Seed = 29
+	cfg.MaxLatency = 100 * time.Microsecond
+	in := New(cfg)
+	wl := in.WrapListener(l)
+
+	go func() {
+		c, err := wl.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c) // echo
+	}()
+
+	dial := in.Dialer(func() (net.Conn, error) { return net.Dial("tcp", l.Addr().String()) })
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through wrapped pair = %q, %v", buf, err)
+	}
+	if in.Count(Latency) == 0 {
+		t.Fatal("no latency injected at rate 1 across both wrappers")
+	}
+}
+
+func mustEncode(t *testing.T, f wire.Frame) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := wire.Write(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}

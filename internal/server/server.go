@@ -80,6 +80,15 @@ type Config struct {
 	// a client that connects and goes silent cannot pin a MaxConns slot
 	// forever. The deadline is refreshed on every frame. 0 disables it.
 	IdleTimeout time.Duration
+	// WriteTimeout, when positive, bounds how long one write or flush to
+	// a connection may block — the mirror of IdleTimeout on the response
+	// side. Without it a peer that stops *reading* (a blackholed or
+	// stalled consumer with a full TCP window) pins the writer goroutine,
+	// and with it any values in flight to that consumer, forever — which
+	// would also wedge Drain, since those values count against the
+	// backlog. On expiry the write fails, the undelivered values are
+	// requeued, and the connection dies. 0 disables it.
+	WriteTimeout time.Duration
 	// Probe, when non-nil, records an event on every frame path (the
 	// metrics.Wire* sites) and the server-observed enqueue/dequeue
 	// latencies.
@@ -244,7 +253,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				s.logf("closing idle connection %v after %v", conn.RemoteAddr(), s.cfg.IdleTimeout)
 			}
-			return // clean close, torn frame, idle reap or our own teardown: stop reading either way
+			if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrBadMagic) {
+				// Detected corruption or version desync: the bytes on this
+				// stream are not what the peer sent, so nothing after them
+				// can be parsed as a frame. Tear the connection down —
+				// never guess at a frame boundary — and count the save.
+				s.cfg.Probe.Add(metrics.WireCorrupt, 1)
+				s.logf("closing connection %v on wire integrity failure: %v", conn.RemoteAddr(), err)
+			}
+			return // clean close, torn frame, corruption, idle reap or our own teardown: stop reading either way
 		}
 		buf = newBuf
 		resp, fatal := s.handle(c, f)
@@ -467,6 +484,15 @@ func (s *Server) observe(op metrics.Op, start time.Time) {
 func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
 	bw := newBufWriter(conn)
 	var unflushed []int64
+	// armWrite bounds the next write or flush: a peer that has stopped
+	// reading (full TCP window, blackholed route) turns into a write
+	// error within WriteTimeout instead of pinning this goroutine — and
+	// the unflushed values, and therefore Drain — forever.
+	armWrite := func() {
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+	}
 	fail := func(what string, err error) {
 		s.logf("%s to %v: %v", what, conn.RemoteAddr(), err)
 		s.requeue(unflushed)
@@ -481,11 +507,13 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
 		// failed Write may have buffered or half-sent the frame, so its
 		// values are undelivered and must be requeued with the rest.
 		unflushed = append(unflushed, m.deqVals...)
+		armWrite()
 		if err := wire.Write(bw, m.frame); err != nil {
 			fail("write", err)
 			return
 		}
 		if len(out) == 0 {
+			armWrite()
 			if err := bw.Flush(); err != nil {
 				fail("flush", err)
 				return
@@ -496,6 +524,7 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
 			}
 		}
 	}
+	armWrite()
 	if err := bw.Flush(); err != nil {
 		s.logf("final flush to %v: %v", conn.RemoteAddr(), err)
 		s.requeue(unflushed)

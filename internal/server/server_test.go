@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"net"
@@ -565,5 +566,120 @@ func TestServeConnEnforcesMaxConns(t *testing.T) {
 	c3 := pipeServer(t, s)
 	if resp, err := c3.enq(2); err != nil || resp.Type != wire.Ack {
 		t.Fatalf("direct conn after slot release = %v, %v; want ACK", resp, err)
+	}
+}
+
+// TestWriteTimeoutUnpinsStalledReader: a peer that stops reading (net.Pipe
+// with no reader is the limit case of a full TCP window) must not pin the
+// writer goroutine — or Drain — forever. With WriteTimeout the flush
+// fails, the in-flight value is requeued, and a drain completes with the
+// value still conserved.
+func TestWriteTimeoutUnpinsStalledReader(t *testing.T) {
+	q := core.NewMS[int]()
+	q.Enqueue(77)
+	s := New(Config{Queue: q, WriteTimeout: 30 * time.Millisecond})
+	s.backlog.Add(1) // the pre-loaded value counts as acknowledged
+
+	clientEnd, srvEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() { s.ServeConn(srvEnd); close(done) }()
+
+	// Ask for the value, then never read the response: the writer's flush
+	// blocks on the pipe until the write deadline fires, the value is
+	// requeued, and the stalled connection's writer goroutine is free.
+	if err := wire.Write(clientEnd, wire.DeqFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy consumer picks the requeued value up. Before the deadline
+	// fires the queue is empty (the value is stuck in the stalled writer),
+	// so poll.
+	healthy := pipeServer(t, s)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := healthy.deq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type == wire.Value {
+			v, err := wire.DecodeValue(resp.Payload)
+			if err != nil || v != 77 {
+				t.Fatalf("redelivered value = %d, %v; want 77", v, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("WriteTimeout never requeued the value held by the stalled writer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lost := s.Lost(); lost != 0 {
+		t.Fatalf("Lost = %d, want 0 (the value was requeued, not dropped)", lost)
+	}
+
+	// The backlog is settled, so Drain completes even though the stalled
+	// connection never read its response; Drain's teardown unblocks its
+	// reader.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain with a stalled reader = %v, want nil (WriteTimeout must unpin the writer)", err)
+	}
+	<-done
+	clientEnd.Close()
+}
+
+// TestCorruptFrameTearsDownAndCounts: a frame that fails its checksum
+// must close the connection (no resynchronisation, no ERR reply guessed
+// from corrupt bytes) and count one detected corruption on the probe.
+func TestCorruptFrameTearsDownAndCounts(t *testing.T) {
+	probe := metrics.NewProbe()
+	s := New(Config{Queue: core.NewMS[int](), Probe: probe})
+	clientEnd, srvEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() { s.ServeConn(srvEnd); close(done) }()
+	defer clientEnd.Close()
+
+	var raw bytes.Buffer
+	if err := wire.Write(&raw, wire.EnqFrame(1, 42)); err != nil {
+		t.Fatal(err)
+	}
+	b := raw.Bytes()
+	b[len(b)-5] ^= 0x01 // flip a body byte; the trailer no longer matches
+	if _, err := clientEnd.Write(b); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server kept the connection after a checksum mismatch")
+	}
+	if got := probe.Site(metrics.WireCorrupt); got != 1 {
+		t.Fatalf("WireCorrupt = %d, want 1", got)
+	}
+	// Nothing was applied: corrupt bytes never reach the queue.
+	if c := s.Counters(); c.Enqueued != 0 {
+		t.Fatalf("corrupt ENQ applied: enqueued=%d", c.Enqueued)
+	}
+
+	// Bad magic (a v1 or alien peer) is the same teardown, same counter.
+	clientEnd2, srvEnd2 := net.Pipe()
+	done2 := make(chan struct{})
+	go func() { s.ServeConn(srvEnd2); close(done2) }()
+	defer clientEnd2.Close()
+	// One byte is all the server needs: it rejects the magic before reading
+	// further (a longer write would wedge on the synchronous pipe once the
+	// server closes its end).
+	if _, err := clientEnd2.Write([]byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server kept the connection after a bad magic byte")
+	}
+	if got := probe.Site(metrics.WireCorrupt); got != 2 {
+		t.Fatalf("WireCorrupt after bad magic = %d, want 2", got)
 	}
 }

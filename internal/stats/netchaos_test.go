@@ -1,0 +1,34 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNetChaosTable(t *testing.T) {
+	rows := []NetChaosRow{
+		{Fault: "reset", Injected: 41, Acked: 1200, Consumed: 1203, Duplicates: 3, Resends: 7, Verdict: "conserved"},
+		{Fault: "corrupt", Injected: 380, Acked: 1200, Consumed: 1200, Corrupt: 380, Verdict: "conserved"},
+		{Fault: "blackhole", Injected: 9, Acked: 1195, Consumed: 1190, Verdict: "FAIL (5 acked value(s) lost)"},
+	}
+	out := NetChaosTable(rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, separator, three rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"fault", "injected", "acked", "consumed", "dups", "resends", "corrupt-detected", "verdict"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("header missing %q: %s", want, lines[0])
+		}
+	}
+	if !strings.Contains(out, "conserved") || !strings.Contains(out, "FAIL (5 acked value(s) lost)") {
+		t.Fatalf("verdicts missing:\n%s", out)
+	}
+	// Alignment: every data row reaches the verdict column offset.
+	idx := strings.Index(lines[0], "verdict")
+	for _, l := range lines[2:] {
+		if len(l) < idx {
+			t.Fatalf("row shorter than verdict column offset:\n%s", out)
+		}
+	}
+}

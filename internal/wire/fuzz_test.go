@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzWireDecode feeds raw bytes through the full decode surface: the
+// frame reader (length prefix, magic byte, checksum trailer) and every
+// payload decoder. The properties under test are the decode-hardening
+// contract — never panic, never allocate beyond the framing bound, never
+// read past the payload — for arbitrary input, not just well-formed
+// frames with flipped bytes. CI runs this target in the fuzz-smoke job.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with one valid encoding of every frame kind, so mutation starts
+	// near the interesting boundaries (valid magic, valid lengths, valid
+	// checksums) instead of having to discover the format from scratch.
+	seeds := []Frame{
+		EnqFrame(1, 42),
+		DeqFrame(2),
+		EnqBatchFrame(3, []int64{1, -2, 3}),
+		DeqBatchFrame(4, 128),
+		AckCountFrame(5, 3),
+		ValuesFrame(6, []int64{7}),
+		RetryFrame(7, RetryDraining, time.Millisecond),
+		StatsReplyFrame(8, Counters{Enqueued: 10, Dequeued: 4}),
+		ErrFrame(9, "boom"),
+	}
+	var all bytes.Buffer
+	for _, fr := range seeds {
+		var one bytes.Buffer
+		if err := Write(&one, fr); err != nil {
+			f.Fatal(err)
+		}
+		all.Write(one.Bytes())
+		f.Add(one.Bytes())
+	}
+	f.Add(all.Bytes())                           // a multi-frame stream
+	f.Add(all.Bytes()[:all.Len()/2])             // torn mid-stream
+	f.Add([]byte{Magic, 0xff, 0xff, 0xff, 0xff}) // hostile length
+	f.Add([]byte{Magic, 0, 0, 0, 9, 1, 0, 0, 0}) // truncated body
+	f.Add([]byte{0x00, 0, 0, 0, 9})              // v1-style frame
+
+	// The reader may allocate at most the framing bound, regardless of
+	// what the length prefix claims.
+	const maxAlloc = frameOverhead + MaxPayload + crcSize
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			fr, newBuf, err := Read(r, buf)
+			buf = newBuf
+			if cap(buf) > maxAlloc {
+				t.Fatalf("Read grew its buffer to %d bytes, bound is %d", cap(buf), maxAlloc)
+			}
+			if err != nil {
+				return
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("Read returned a %d-byte payload past MaxPayload %d", len(fr.Payload), MaxPayload)
+			}
+			// Every payload decoder must fail cleanly or in-bounds on
+			// whatever survived the checksum; none may panic.
+			DecodeValue(fr.Payload)
+			if vs, err := DecodeValues(fr.Payload); err == nil && len(vs) > MaxBatch {
+				t.Fatalf("DecodeValues accepted %d values past MaxBatch %d", len(vs), MaxBatch)
+			}
+			DecodeCount(fr.Payload)
+			DecodeRetry(fr.Payload)
+			DecodeCounters(fr.Payload)
+		}
+	})
+}

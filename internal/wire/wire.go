@@ -4,10 +4,22 @@
 //
 // Every frame is
 //
-//	uint32  length   big-endian; bytes that follow (type + id + payload)
+//	uint8   magic    version marker (Magic, currently 0xA2 = "v2")
+//	uint32  length   big-endian; body bytes that follow (type + id + payload)
 //	uint8   type     request or response kind
 //	uint64  id       request id, echoed verbatim in the response
 //	payload          type-specific, length-9 bytes
+//	uint32  crc      CRC32-C (Castagnoli) over magic, length and body
+//
+// The magic byte makes version mismatches fail *loudly*: a peer speaking a
+// different framing never has its bytes misread as a plausible frame — the
+// very first byte produces ErrBadMagic and the connection dies. (The v1
+// framing began with a big-endian length whose first byte was always 0x00,
+// so v1 peers are rejected cleanly too.) The CRC trailer makes silent
+// byte corruption — a lying middlebox, a flipped bit — detectable:
+// a frame whose trailer does not match yields ErrChecksum instead of a
+// misparsed type, id or payload. Both errors are connection-fatal by
+// contract; there is no resynchronisation inside a stream (DESIGN §15).
 //
 // The id exists for pipelining: a client may keep many requests in flight
 // on one connection and match responses by id, so one slow round trip does
@@ -30,7 +42,9 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 )
@@ -123,9 +137,19 @@ func (t Type) String() string {
 func (t Type) Request() bool { return t >= Enq && t <= Ping }
 
 const (
-	// frameOverhead is the per-frame cost after the length prefix: one
-	// type byte and the eight-byte id.
+	// Magic is the version marker opening every frame. The low nibble is
+	// the framing version; a reader that sees anything else fails with
+	// ErrBadMagic before interpreting a single body byte. v1 frames (no
+	// magic, no checksum) started with a 0x00 length byte, so they are
+	// rejected here rather than misparsed.
+	Magic = 0xA2
+	// frameOverhead is the per-frame body cost after the length prefix:
+	// one type byte and the eight-byte id.
 	frameOverhead = 1 + 8
+	// crcSize is the CRC32-C trailer appended after the body.
+	crcSize = 4
+	// headerSize is everything before the body: magic plus length prefix.
+	headerSize = 1 + 4
 	// MaxPayload bounds a frame's payload so a corrupt or hostile length
 	// prefix cannot make a reader allocate unboundedly — the same
 	// bounded-memory stance the RETRY path takes for the queue itself.
@@ -134,6 +158,20 @@ const (
 	// values are 512 KiB, comfortably under MaxPayload.
 	MaxBatch = 1 << 16
 )
+
+// castagnoli is the CRC32-C polynomial table; hardware-accelerated on
+// amd64/arm64, so the trailer costs well under the syscall it rides on.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadMagic reports a frame that did not open with Magic: a peer
+// speaking a different protocol version (or raw garbage). The stream
+// cannot be resynchronised; close the connection.
+var ErrBadMagic = errors.New("wire: bad magic byte (mixed protocol versions?)")
+
+// ErrChecksum reports a frame whose CRC32-C trailer did not match its
+// bytes: corruption in transit. The frame's type, id and payload are
+// untrustworthy and were not returned; close the connection.
+var ErrChecksum = errors.New("wire: frame checksum mismatch (corruption)")
 
 // RetryReason says why an enqueue was refused.
 type RetryReason uint8
@@ -166,54 +204,77 @@ type Frame struct {
 	Payload []byte
 }
 
-// Write encodes f to w as one length-prefixed frame. It performs a single
-// Write call, so frames from goroutines sharing a serialised writer are
-// never interleaved mid-frame.
+// Write encodes f to w as one checksummed length-prefixed frame. It
+// performs a single Write call, so frames from goroutines sharing a
+// serialised writer are never interleaved mid-frame.
 func Write(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("wire: payload %d bytes exceeds MaxPayload %d", len(f.Payload), MaxPayload)
 	}
-	buf := make([]byte, 4+frameOverhead+len(f.Payload))
-	binary.BigEndian.PutUint32(buf, uint32(frameOverhead+len(f.Payload)))
-	buf[4] = byte(f.Type)
-	binary.BigEndian.PutUint64(buf[5:], f.ID)
-	copy(buf[4+frameOverhead:], f.Payload)
+	body := frameOverhead + len(f.Payload)
+	buf := make([]byte, headerSize+body+crcSize)
+	buf[0] = Magic
+	binary.BigEndian.PutUint32(buf[1:], uint32(body))
+	buf[headerSize] = byte(f.Type)
+	binary.BigEndian.PutUint64(buf[headerSize+1:], f.ID)
+	copy(buf[headerSize+frameOverhead:], f.Payload)
+	crc := crc32.Checksum(buf[:headerSize+body], castagnoli)
+	binary.BigEndian.PutUint32(buf[headerSize+body:], crc)
 	_, err := w.Write(buf)
 	return err
 }
 
-// Read decodes one frame from r. A non-nil buf is reused when large
-// enough, so a connection's read loop makes no steady-state allocations;
-// the returned Frame's Payload aliases that buffer. io.EOF is returned
-// verbatim on a clean boundary (no partial frame read), so callers can
-// distinguish an orderly close from a truncated stream
-// (io.ErrUnexpectedEOF).
+// Read decodes one frame from r, verifying its CRC32-C trailer. A non-nil
+// buf is reused when large enough, so a connection's read loop makes no
+// steady-state allocations; the returned Frame's Payload aliases that
+// buffer. io.EOF is returned verbatim on a clean boundary (no partial
+// frame read), so callers can distinguish an orderly close from a
+// truncated stream (io.ErrUnexpectedEOF). A frame that opens with the
+// wrong magic byte yields an error wrapping ErrBadMagic; a frame whose
+// trailer does not match its bytes yields one wrapping ErrChecksum. Both
+// are connection-fatal: nothing after them in the stream can be trusted.
 func Read(r io.Reader, buf []byte) (Frame, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Frame{}, buf, err // EOF here is a clean close
+	}
+	if hdr[0] != Magic {
+		return Frame{}, buf, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrBadMagic, hdr[0], Magic)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // the magic byte was read; truncated, not closed
+		}
 		return Frame{}, buf, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[1:])
 	if n < frameOverhead {
 		return Frame{}, buf, fmt.Errorf("wire: frame length %d below minimum %d", n, frameOverhead)
 	}
 	if n > frameOverhead+MaxPayload {
 		return Frame{}, buf, fmt.Errorf("wire: frame length %d exceeds limit %d", n, frameOverhead+MaxPayload)
 	}
-	if cap(buf) < int(n) {
-		buf = make([]byte, n)
+	// The bound check above caps this allocation at MaxPayload plus a few
+	// bytes of framing, before a single body byte is read.
+	if cap(buf) < int(n)+crcSize {
+		buf = make([]byte, int(n)+crcSize)
 	}
-	buf = buf[:n]
+	buf = buf[:int(n)+crcSize]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF // header was read; the stream is truncated, not closed
 		}
 		return Frame{}, buf, err
 	}
+	crc := crc32.Checksum(hdr[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, buf[:n])
+	if want := binary.BigEndian.Uint32(buf[n:]); crc != want {
+		return Frame{}, buf, fmt.Errorf("%w: computed 0x%08x, trailer 0x%08x", ErrChecksum, crc, want)
+	}
 	return Frame{
 		Type:    Type(buf[0]),
 		ID:      binary.BigEndian.Uint64(buf[1:9]),
-		Payload: buf[9:],
+		Payload: buf[9:n],
 	}, buf, nil
 }
 
@@ -228,7 +289,9 @@ func DecodeValue(p []byte) (int64, error) {
 }
 
 // DecodeValues reads the counted int64 list of an EnqBatch or Values
-// frame.
+// frame. The declared count is validated against both MaxBatch and the
+// bytes actually present *before* the result is allocated, so a corrupt
+// or hostile count can neither over-allocate nor read past the payload.
 func DecodeValues(p []byte) ([]int64, error) {
 	if len(p) < 4 {
 		return nil, fmt.Errorf("wire: batch payload is %d bytes, want >= 4", len(p))
@@ -237,8 +300,8 @@ func DecodeValues(p []byte) ([]int64, error) {
 	if n > MaxBatch {
 		return nil, fmt.Errorf("wire: batch count %d exceeds MaxBatch %d", n, MaxBatch)
 	}
-	if len(p) != 4+8*int(n) {
-		return nil, fmt.Errorf("wire: batch payload is %d bytes, want %d for %d values", len(p), 4+8*int(n), n)
+	if uint64(len(p)-4) != 8*uint64(n) {
+		return nil, fmt.Errorf("wire: batch payload is %d bytes, want %d for %d values", len(p), 4+8*int64(n), n)
 	}
 	vs := make([]int64, n)
 	for i := range vs {
@@ -398,7 +461,9 @@ func (c Counters) append(p []byte) []byte {
 	return p
 }
 
-// DecodeCounters reads a StatsReply payload.
+// DecodeCounters reads a StatsReply payload. The declared field count is
+// checked against the bytes present before any field is read, so a
+// corrupt count cannot walk past the payload.
 func DecodeCounters(p []byte) (Counters, error) {
 	if len(p) < 4 {
 		return Counters{}, fmt.Errorf("wire: counters payload is %d bytes, want >= 4", len(p))
@@ -407,8 +472,8 @@ func DecodeCounters(p []byte) (Counters, error) {
 	if n < counterFields {
 		return Counters{}, fmt.Errorf("wire: counters reply has %d fields, want >= %d", n, counterFields)
 	}
-	if len(p) < 4+8*int(n) {
-		return Counters{}, fmt.Errorf("wire: counters payload is %d bytes, want %d for %d fields", len(p), 4+8*int(n), n)
+	if uint64(len(p)-4) < 8*uint64(n) {
+		return Counters{}, fmt.Errorf("wire: counters payload is %d bytes, want %d for %d fields", len(p), 4+8*int64(n), n)
 	}
 	field := func(i int) uint64 { return binary.BigEndian.Uint64(p[4+8*i:]) }
 	return Counters{

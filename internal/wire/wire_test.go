@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -99,17 +100,84 @@ func TestPayloadDecoders(t *testing.T) {
 // TestReadRejectsOversizedFrame ensures a hostile length prefix cannot
 // force an unbounded allocation.
 func TestReadRejectsOversizedFrame(t *testing.T) {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(frameOverhead+MaxPayload+1))
+	var hdr [headerSize]byte
+	hdr[0] = Magic
+	binary.BigEndian.PutUint32(hdr[1:], uint32(frameOverhead+MaxPayload+1))
 	_, _, err := Read(bytes.NewReader(hdr[:]), nil)
 	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
 		t.Fatalf("Read(oversized) = %v, want length-limit error", err)
 	}
 
-	binary.BigEndian.PutUint32(hdr[:], 3) // below the type+id minimum
+	binary.BigEndian.PutUint32(hdr[1:], 3) // below the type+id minimum
 	_, _, err = Read(bytes.NewReader(hdr[:]), nil)
 	if err == nil || !strings.Contains(err.Error(), "below minimum") {
 		t.Fatalf("Read(undersized) = %v, want length-minimum error", err)
+	}
+}
+
+// TestBadMagicRejected: a stream that does not open with the version
+// marker — a v1 peer (whose first byte was always 0x00, the high byte of
+// a bounded big-endian length) or raw garbage — fails with ErrBadMagic
+// before any body byte is interpreted.
+func TestBadMagicRejected(t *testing.T) {
+	// A v1-framed ENQ: 4-byte length, then type+id+payload, no checksum.
+	v1 := make([]byte, 4+frameOverhead+8)
+	binary.BigEndian.PutUint32(v1, uint32(frameOverhead+8))
+	v1[4] = byte(Enq)
+	_, _, err := Read(bytes.NewReader(v1), nil)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Read(v1 frame) = %v, want ErrBadMagic", err)
+	}
+	_, _, err = Read(bytes.NewReader([]byte{0x7f, 1, 2, 3}), nil)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Read(garbage) = %v, want ErrBadMagic", err)
+	}
+}
+
+// TestCorruptionAlwaysDetected flips every byte of an encoded frame, one
+// at a time, and asserts the reader never returns a valid frame: every
+// corruption lands on ErrChecksum, ErrBadMagic, a length-bound error, or
+// a truncation — never a silent misparse. This is the wire-integrity
+// property the netchaos corruption fault relies on.
+func TestCorruptionAlwaysDetected(t *testing.T) {
+	frames := []Frame{
+		EnqFrame(7, 42),
+		ValuesFrame(8, []int64{1, -2, 3}),
+		RetryFrame(9, RetryFull, time.Millisecond),
+	}
+	for _, f := range frames {
+		var stream bytes.Buffer
+		if err := Write(&stream, f); err != nil {
+			t.Fatal(err)
+		}
+		full := stream.Bytes()
+		for i := range full {
+			for _, mask := range []byte{0x01, 0x80, 0xff} {
+				corrupt := append([]byte(nil), full...)
+				corrupt[i] ^= mask
+				got, _, err := Read(bytes.NewReader(corrupt), nil)
+				if err == nil {
+					t.Fatalf("%v frame with byte %d ^= %#02x parsed as %v id=%d — corruption undetected",
+						f.Type, i, mask, got.Type, got.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestChecksumErrorIsSentinel: corruption in the body (not the header)
+// surfaces specifically as ErrChecksum, the signal the server counts as
+// a detected-corruption event and both sides treat as connection-fatal.
+func TestChecksumErrorIsSentinel(t *testing.T) {
+	var stream bytes.Buffer
+	if err := Write(&stream, EnqFrame(1, 99)); err != nil {
+		t.Fatal(err)
+	}
+	full := stream.Bytes()
+	full[headerSize+3] ^= 0x40 // a byte of the id
+	_, _, err := Read(bytes.NewReader(full), nil)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Read(corrupt body) = %v, want ErrChecksum", err)
 	}
 }
 
