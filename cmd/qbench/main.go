@@ -62,6 +62,7 @@ func run(args []string) error {
 		netAddr    = fs.String("net", "", "benchmark a running qserve at this address instead of in-process queues")
 		dur        = fs.Duration("dur", 3*time.Second, "duration of the -net load run")
 		dialTO     = fs.Duration("dialtimeout", 5*time.Second, "bound each -net dial attempt (0 = unbounded)")
+		scrapeURL  = fs.String("scrape", "", "with -net: a qserve /metrics URL to scrape before and after the run; prints the server-side counter deltas and rates")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +92,8 @@ func run(args []string) error {
 		return fmt.Errorf("-dur must be positive, got %v", *dur)
 	case *dialTO < 0:
 		return fmt.Errorf("-dialtimeout must be >= 0, got %v", *dialTO)
+	case *scrapeURL != "" && *netAddr == "":
+		return fmt.Errorf("-scrape compares a server's /metrics across a -net run; it needs -net")
 	case *metricsRep && *experiment != "":
 		return fmt.Errorf("-metrics runs its own probed pass and does not combine with -experiment %q", *experiment)
 	}
@@ -105,7 +108,7 @@ func run(args []string) error {
 	}
 
 	if *netAddr != "" {
-		return netBench(*netAddr, *procs, *dur, *dialTO, *quiet)
+		return netBench(*netAddr, *procs, *dur, *dialTO, *scrapeURL, *quiet)
 	}
 
 	if *experiment != "" {

@@ -56,17 +56,7 @@ func metricsReport(algos []algorithms.Info, procs, pairs, capacity int, otherWor
 		if !quiet {
 			fmt.Printf("%s (%s):\n%s\n", info.Display, info.Name, snap.Report(ops))
 		}
-		enq, deq := snap.Latency[metrics.Enqueue], snap.Latency[metrics.Dequeue]
-		rows = append(rows, stats.ContentionRow{
-			Algorithm:  info.Display,
-			Ops:        ops,
-			CASRetries: res.CASRetries,
-			LockSpins:  res.LockSpins,
-			EnqP50:     enq.Quantile(0.50),
-			EnqP99:     enq.Quantile(0.99),
-			DeqP50:     deq.Quantile(0.50),
-			DeqP99:     deq.Quantile(0.99),
-		})
+		rows = append(rows, stats.ContentionRowFromSnapshot(info.Display, ops, snap))
 	}
 
 	fmt.Println(stats.ContentionTable(rows))

@@ -16,9 +16,20 @@ import (
 // the server's own counters. Before returning it drains the queue empty,
 // so a qserve that is SIGTERMed afterwards (the CI smoke job) finishes
 // its drain with backlog 0 instead of waiting for a consumer that never
-// comes.
-func netBench(addr string, workers int, dur, dialTimeout time.Duration, quiet bool) error {
+// comes. With scrapeURL set, the server's /metrics is read before and
+// after the run and the counter deltas are printed next to the client's
+// numbers — the server's account of the same load.
+func netBench(addr string, workers int, dur, dialTimeout time.Duration, scrapeURL string, quiet bool) error {
 	probe := metrics.NewProbe()
+
+	var scrapeBefore map[string]float64
+	scrapeStart := time.Now()
+	if scrapeURL != "" {
+		var err error
+		if scrapeBefore, err = scrape(scrapeURL); err != nil {
+			return err
+		}
+	}
 	mkClient := func() *client.Client {
 		return client.New(client.Config{Addr: addr, DialTimeout: dialTimeout})
 	}
@@ -126,6 +137,13 @@ func netBench(addr string, workers int, dur, dialTimeout time.Duration, quiet bo
 		}
 		fmt.Printf("  server: enqueued=%d dequeued=%d empties=%d retries=%d conns=%d\n",
 			counters.Enqueued, counters.Dequeued, counters.Empties, counters.Retries, counters.Conns)
+	}
+	if scrapeURL != "" {
+		scrapeAfter, err := scrape(scrapeURL)
+		if err != nil {
+			return err
+		}
+		printScrapeDelta(scrapeBefore, scrapeAfter, time.Since(scrapeStart))
 	}
 	return nil
 }

@@ -1,38 +1,59 @@
 package main
 
 import (
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
+	"time"
 
 	"msqueue/internal/client"
+	"msqueue/internal/telemetry"
 )
 
+// testServer is one in-process run() with every channel a test needs.
+type testServer struct {
+	addr  string // queue listener
+	admin string // admin listener ("" when -admin off)
+	sigCh chan<- os.Signal
+	quit  chan<- os.Signal
+	out   *syncBuilder // live output; outCh carries the final copy
+	outCh <-chan string
+	errCh <-chan error
+}
+
 // serveInTest runs run() on an ephemeral port and returns the bound
-// address, the signal channel that stops it, and a done channel carrying
+// addresses, the signal channels that drive it, and channels carrying
 // run's error and output.
-func serveInTest(t *testing.T, extraArgs ...string) (string, chan<- os.Signal, <-chan string, <-chan error) {
+func serveInTest(t *testing.T, extraArgs ...string) testServer {
 	t.Helper()
 	sigCh := make(chan os.Signal, 1)
-	addrCh := make(chan net.Addr, 1)
+	quitCh := make(chan os.Signal, 1)
+	type addrs struct{ serve, admin net.Addr }
+	addrCh := make(chan addrs, 1)
 	outCh := make(chan string, 1)
 	errCh := make(chan error, 1)
 	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	sb := new(syncBuilder)
 	go func() {
-		var sb syncBuilder
-		err := run(args, &sb, sigCh, func(a net.Addr) { addrCh <- a })
+		err := run(args, sb, sigCh, quitCh, func(a, adm net.Addr) { addrCh <- addrs{a, adm} })
 		outCh <- sb.String()
 		errCh <- err
 	}()
 	select {
 	case a := <-addrCh:
-		return a.String(), sigCh, outCh, errCh
+		ts := testServer{addr: a.serve.String(), sigCh: sigCh, quit: quitCh, out: sb, outCh: outCh, errCh: errCh}
+		if a.admin != nil {
+			ts.admin = a.admin.String()
+		}
+		return ts
 	case err := <-errCh:
 		t.Fatalf("run exited before listening: %v", err)
-		return "", nil, nil, nil
+		return testServer{}
 	}
 }
 
@@ -58,9 +79,9 @@ func (b *syncBuilder) String() string {
 // TestServeSignalDrain runs the full lifecycle: serve, do work over a real
 // client, SIGTERM, and check the drain summary and metrics report.
 func TestServeSignalDrain(t *testing.T) {
-	addr, sigCh, outCh, errCh := serveInTest(t, "-algo", "ring", "-cap", "64", "-metrics", "-quiet")
+	ts := serveInTest(t, "-algo", "ring", "-cap", "64", "-metrics", "-quiet")
 
-	c, err := client.Dial(addr)
+	c, err := client.Dial(ts.addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,9 +97,9 @@ func TestServeSignalDrain(t *testing.T) {
 	}
 	c.Close()
 
-	sigCh <- syscall.SIGTERM
-	out := <-outCh
-	if err := <-errCh; err != nil {
+	ts.sigCh <- syscall.SIGTERM
+	out := <-ts.outCh
+	if err := <-ts.errCh; err != nil {
 		t.Fatalf("run = %v\noutput:\n%s", err, out)
 	}
 	for _, want := range []string{
@@ -96,9 +117,9 @@ func TestServeSignalDrain(t *testing.T) {
 // TestServeDrainDeliversBacklog: elements acked before SIGTERM must still
 // be dequeuable during the drain window.
 func TestServeDrainDeliversBacklog(t *testing.T) {
-	addr, sigCh, outCh, errCh := serveInTest(t, "-quiet")
+	ts := serveInTest(t, "-quiet")
 
-	c, err := client.Dial(addr)
+	c, err := client.Dial(ts.addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +129,7 @@ func TestServeDrainDeliversBacklog(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sigCh <- syscall.SIGTERM
+	ts.sigCh <- syscall.SIGTERM
 
 	got := 0
 	for got < 10 {
@@ -124,8 +145,8 @@ func TestServeDrainDeliversBacklog(t *testing.T) {
 		}
 		got++
 	}
-	out := <-outCh
-	if err := <-errCh; err != nil {
+	out := <-ts.outCh
+	if err := <-ts.errCh; err != nil {
 		t.Fatalf("run = %v\noutput:\n%s", err, out)
 	}
 	if !strings.Contains(out, "backlog=0") || !strings.Contains(out, "lost=0") {
@@ -135,7 +156,7 @@ func TestServeDrainDeliversBacklog(t *testing.T) {
 
 func TestListAndFlagValidation(t *testing.T) {
 	var sb syncBuilder
-	if err := run([]string{"-list"}, &sb, nil, nil); err != nil {
+	if err := run([]string{"-list"}, &sb, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if out := sb.String(); !strings.Contains(out, "ms") || !strings.Contains(out, "ring") {
@@ -149,9 +170,106 @@ func TestListAndFlagValidation(t *testing.T) {
 		{"-maxconns", "-2"},
 		{"-hint", "0s"},
 		{"-drain", "-1s"},
+		{"-events", "0"},
+		{"-stall", "-1s"},
+		{"-admin", "127.0.0.1:99999"},
 	} {
-		if err := run(args, &sb, nil, nil); err == nil {
+		if err := run(args, &sb, nil, nil, nil); err == nil {
 			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+// TestAdminPlane drives the live observability end to end in-process: the
+// exporter over HTTP while traffic flows, /healthz flipping to 503 during
+// the drain, /debug/events carrying the connection trail, and the SIGQUIT
+// flight-recorder dump on stdout.
+func TestAdminPlane(t *testing.T) {
+	ts := serveInTest(t, "-algo", "ring", "-cap", "64", "-admin", "127.0.0.1:0", "-drain", "1s", "-quiet")
+	if ts.admin == "" {
+		t.Fatal("no admin address despite -admin")
+	}
+
+	c, err := client.Dial(ts.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := c.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if _, ok, err := c.Dequeue(); err != nil || !ok {
+			t.Fatalf("dequeue %d: %v %v", i, ok, err)
+		}
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + ts.admin + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	vals, err := telemetry.ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	if vals["queue_enqueues_total"] != 16 || vals["queue_dequeues_total"] != 16 {
+		t.Fatalf("enq/deq totals = %v/%v, want 16/16",
+			vals["queue_enqueues_total"], vals["queue_dequeues_total"])
+	}
+	if vals["server_backlog"] != 0 || vals["server_draining"] != 0 {
+		t.Fatalf("backlog/draining = %v/%v, want 0/0", vals["server_backlog"], vals["server_draining"])
+	}
+	if vals[`queue_site_events_total{site="wire_enq"}`] != 16 {
+		t.Fatalf("wire_enq site counter = %v, want 16 (admin must enable the probe)",
+			vals[`queue_site_events_total{site="wire_enq"}`])
+	}
+
+	if code, body = get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body = get("/debug/events"); code != http.StatusOK || !strings.Contains(body, "conn-open") {
+		t.Fatalf("/debug/events = %d, want conn-open in trail:\n%s", code, body)
+	}
+
+	// SIGQUIT: recorder dump on stdout, server keeps serving.
+	ts.quit <- syscall.SIGQUIT
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(ts.out.String(), "flight recorder:") {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGQUIT produced no flight recorder dump")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Enqueue(99); err != nil {
+		t.Fatalf("enqueue after SIGQUIT: %v (SIGQUIT must not stop the server)", err)
+	}
+	c.Close()
+
+	ts.sigCh <- syscall.SIGTERM
+	out := <-ts.outCh
+	if err := <-ts.errCh; err == nil {
+		// One element (99) was acked with no consumer left; the drain times
+		// out reporting it — which also exercises the drain-failure dump.
+		t.Fatalf("expected drain timeout for the stranded element, got nil:\n%s", out)
+	}
+	for _, want := range []string{"flight recorder:", "conn-open", "drain-begin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("final output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -6,11 +6,17 @@ import (
 	"time"
 )
 
-// numBuckets is one bucket per power of two of nanoseconds: bucket b holds
-// durations d with bits.Len64(ns) == b, i.e. ns in [2^(b-1), 2^b). Bucket 0
-// holds zero-length observations; 63 buckets cover every representable
-// duration, so nothing is clipped.
-const numBuckets = 64
+// NumLatencyBuckets is one bucket per power of two of nanoseconds: bucket
+// b holds durations d with bits.Len64(ns) == b, i.e. ns in [2^(b-1), 2^b).
+// Bucket 0 holds zero-length observations; 63 buckets cover every
+// representable duration, so nothing is clipped. The bound is exported —
+// with BucketUpperBound and BucketMidpoint — so renderers (the stats
+// tables, the telemetry exporter) derive bucket geometry from one source
+// of truth instead of re-deriving the log-bucket rule.
+const NumLatencyBuckets = 64
+
+// numBuckets is the internal alias predating the export.
+const numBuckets = NumLatencyBuckets
 
 // histStripes splits each bucket array across several copies so that
 // goroutines observing similar latencies (the common case: a tight
@@ -107,18 +113,21 @@ func (l LatencySnapshot) Mean() time.Duration {
 	return time.Duration(sum / float64(l.Count))
 }
 
-// bucketMid is the midpoint of bucket b's range [2^(b-1), 2^b).
-func bucketMid(b int) time.Duration {
-	if b == 0 {
+// BucketMidpoint returns the midpoint of bucket b's range [2^(b-1), 2^b) —
+// the value Quantile and Mean report for observations that landed in b.
+func BucketMidpoint(b int) time.Duration {
+	if b <= 0 {
 		return 0
 	}
 	lo := int64(1) << (b - 1)
 	return time.Duration(lo + lo/2)
 }
 
-// bucketMax is the inclusive upper bound of bucket b.
-func bucketMax(b int) time.Duration {
-	if b == 0 {
+// BucketUpperBound returns the inclusive upper bound of bucket b: the
+// largest duration that Observe files under it. The last bucket's bound is
+// the largest representable duration.
+func BucketUpperBound(b int) time.Duration {
+	if b <= 0 {
 		return 0
 	}
 	if b >= 63 {
@@ -126,3 +135,6 @@ func bucketMax(b int) time.Duration {
 	}
 	return time.Duration(int64(1)<<b - 1)
 }
+
+func bucketMid(b int) time.Duration { return BucketMidpoint(b) }
+func bucketMax(b int) time.Duration { return BucketUpperBound(b) }

@@ -188,6 +188,65 @@ func (s Site) String() string {
 	}
 }
 
+// Label returns the site's stable snake_case token for machine-readable
+// exports — the telemetry exporter's Prometheus series labels. Unlike
+// String (a human report label, free to change), a Label is a wire
+// contract: dashboards and scrape rules key on it, so existing tokens must
+// never be renamed, only new ones appended (TestSiteOrderLockdown pins
+// both the tokens and the enum order).
+func (s Site) Label() string {
+	switch s {
+	case EnqueueLinkCAS:
+		return "enq_link_cas"
+	case EnqueueTailSwing:
+		return "enq_tail_swing"
+	case EnqueueInconsistent:
+		return "enq_inconsistent"
+	case DequeueHeadCAS:
+		return "deq_head_cas"
+	case DequeueTailSwing:
+		return "deq_tail_swing"
+	case DequeueInconsistent:
+		return "deq_inconsistent"
+	case SnapshotRetry:
+		return "snapshot_retry"
+	case RingEnqSlot:
+		return "ring_enq_slot"
+	case RingDeqSlot:
+		return "ring_deq_slot"
+	case RingCatchup:
+		return "ring_catchup"
+	case LockSpin:
+		return "lock_spin"
+	case StealHit:
+		return "steal_hit"
+	case StealMiss:
+		return "steal_miss"
+	case WireEnq:
+		return "wire_enq"
+	case WireDeq:
+		return "wire_deq"
+	case WireEmpty:
+		return "wire_empty"
+	case WireRetry:
+		return "wire_retry"
+	case WireControl:
+		return "wire_control"
+	case EpochPin:
+		return "epoch_pin"
+	case EpochAdvance:
+		return "epoch_advance"
+	case EpochFlush:
+		return "epoch_flush"
+	case NetFault:
+		return "net_fault"
+	case WireCorrupt:
+		return "wire_corrupt"
+	default:
+		return fmt.Sprintf("site_%d", uint8(s))
+	}
+}
+
 // Op classifies a completed queue operation for latency accounting.
 type Op uint8
 

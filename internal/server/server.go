@@ -47,6 +47,7 @@ import (
 
 	"msqueue/internal/metrics"
 	"msqueue/internal/queue"
+	"msqueue/internal/telemetry"
 	"msqueue/internal/wire"
 )
 
@@ -93,6 +94,13 @@ type Config struct {
 	// metrics.Wire* sites) and the server-observed enqueue/dequeue
 	// latencies.
 	Probe *metrics.Probe
+	// Events, when non-nil, receives connection- and lifecycle-level
+	// transitions (open/close/refusal, RETRY, detected corruption,
+	// requeues, drain begin/end) for post-incident reconstruction. Like
+	// Probe it is nil-safe: recording into a nil recorder is one branch.
+	// Per-frame traffic stays in the counters — the recorder is for the
+	// rare transitions, bounded at the recorder's ring size.
+	Events *telemetry.Recorder
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -120,8 +128,13 @@ type Server struct {
 	retries  atomic.Uint64
 	lost     atomic.Uint64
 
+	// connSeq hands each admitted connection a serial number: the stable
+	// identity flight-recorder events correlate on, since a net.Conn's
+	// address string can be reused the moment a port is.
+	connSeq atomic.Uint64
+
 	mu        sync.Mutex
-	conns     map[net.Conn]struct{}
+	conns     map[net.Conn]uint64
 	listeners map[net.Listener]struct{}
 	closed    bool
 
@@ -139,7 +152,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:       cfg,
-		conns:     make(map[net.Conn]struct{}),
+		conns:     make(map[net.Conn]uint64),
 		listeners: make(map[net.Listener]struct{}),
 	}
 	s.bounded, _ = cfg.Queue.(queue.Bounded[int])
@@ -179,7 +192,7 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		if !s.admit(conn) {
+		if _, ok := s.admit(conn); !ok {
 			continue
 		}
 		s.wg.Add(1)
@@ -191,8 +204,9 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // admit registers conn against the connection limit, refusing it with an
-// ERR frame when the server is full or closed.
-func (s *Server) admit(conn net.Conn) bool {
+// ERR frame when the server is full or closed. On success it returns the
+// connection's serial, the identity its flight-recorder events carry.
+func (s *Server) admit(conn net.Conn) (uint64, bool) {
 	s.mu.Lock()
 	if s.closed || (s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns) {
 		closed := s.closed
@@ -203,12 +217,24 @@ func (s *Server) admit(conn net.Conn) bool {
 		}
 		wire.Write(conn, wire.ErrFrame(0, msg)) // best effort; the refusal is the close
 		conn.Close()
+		s.cfg.Events.Record(telemetry.EvConnRefused, 0, 0, remoteAddr(conn)+": "+msg)
 		s.logf("refused connection from %v: %s", conn.RemoteAddr(), msg)
-		return false
+		return 0, false
 	}
-	s.conns[conn] = struct{}{}
+	id := s.connSeq.Add(1)
+	s.conns[conn] = id
 	s.mu.Unlock()
-	return true
+	s.cfg.Events.Record(telemetry.EvConnOpen, id, 0, remoteAddr(conn))
+	return id, true
+}
+
+// remoteAddr is conn.RemoteAddr().String() hardened against the nil Addr
+// some synthetic net.Conns (net.Pipe halves in tests) return.
+func remoteAddr(conn net.Conn) string {
+	if a := conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
 }
 
 // ServeConn serves one already-established connection until it closes,
@@ -217,19 +243,23 @@ func (s *Server) admit(conn net.Conn) bool {
 // Connections handed directly to ServeConn also count against MaxConns.
 func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
-	_, registered := s.conns[conn]
+	id, registered := s.conns[conn]
 	s.mu.Unlock()
-	if !registered && !s.admit(conn) {
-		// Direct connections go through the same admission as accepted
-		// ones: the doc comment's MaxConns promise, and an ERR refusal
-		// instead of a silent close.
-		return
+	if !registered {
+		var ok bool
+		if id, ok = s.admit(conn); !ok {
+			// Direct connections go through the same admission as accepted
+			// ones: the doc comment's MaxConns promise, and an ERR refusal
+			// instead of a silent close.
+			return
+		}
 	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.cfg.Events.Record(telemetry.EvConnClose, id, 0, "")
 	}()
 
 	out := make(chan outMsg, outboundWindow)
@@ -237,12 +267,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		s.writeLoop(conn, out)
+		s.writeLoop(conn, id, out)
 	}()
 	defer writerWG.Wait()
 	defer close(out)
 
-	c := &connState{}
+	c := &connState{id: id}
 	var buf []byte
 	for {
 		if s.cfg.IdleTimeout > 0 {
@@ -251,6 +281,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		f, newBuf, err := wire.Read(conn, buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.cfg.Events.Record(telemetry.EvIdleReap, id, int64(s.cfg.IdleTimeout), "")
 				s.logf("closing idle connection %v after %v", conn.RemoteAddr(), s.cfg.IdleTimeout)
 			}
 			if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrBadMagic) {
@@ -259,6 +290,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 				// can be parsed as a frame. Tear the connection down —
 				// never guess at a frame boundary — and count the save.
 				s.cfg.Probe.Add(metrics.WireCorrupt, 1)
+				s.cfg.Events.Record(telemetry.EvCorrupt, id, 0, err.Error())
 				s.logf("closing connection %v on wire integrity failure: %v", conn.RemoteAddr(), err)
 			}
 			return // clean close, torn frame, corruption, idle reap or our own teardown: stop reading either way
@@ -285,6 +317,8 @@ type outMsg struct {
 
 // connState is per-connection bookkeeping owned by the reader goroutine.
 type connState struct {
+	// id is the connection's admission serial (see Server.connSeq).
+	id uint64
 	// fulls counts consecutive refused enqueues, escalating the hint.
 	fulls int
 }
@@ -405,7 +439,9 @@ func (s *Server) refuse(c *connState, id uint64) wire.Frame {
 	c.fulls++
 	s.retries.Add(1)
 	s.cfg.Probe.Add(metrics.WireRetry, 1)
-	return wire.RetryFrame(id, reason, s.cfg.RetryHint<<shift)
+	hint := s.cfg.RetryHint << shift
+	s.cfg.Events.Record(telemetry.EvRetry, c.id, int64(hint), reason.String())
+	return wire.RetryFrame(id, reason, hint)
 }
 
 func (s *Server) dequeueOne() (int64, bool) {
@@ -481,7 +517,7 @@ func (s *Server) observe(op metrics.Op, start time.Time) {
 // into one syscall. Delivered values are settled against the backlog only
 // after the flush that put them on the wire; values stuck in a dead
 // writer are put back in the queue (see outMsg).
-func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
+func (s *Server) writeLoop(conn net.Conn, id uint64, out <-chan outMsg) {
 	bw := newBufWriter(conn)
 	var unflushed []int64
 	// armWrite bounds the next write or flush: a peer that has stopped
@@ -495,11 +531,11 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
 	}
 	fail := func(what string, err error) {
 		s.logf("%s to %v: %v", what, conn.RemoteAddr(), err)
-		s.requeue(unflushed)
+		s.requeue(id, unflushed)
 		// Keep consuming so the reader never blocks on a dead writer; it
 		// notices the broken connection itself and closes the channel.
 		for m := range out {
-			s.requeue(m.deqVals)
+			s.requeue(id, m.deqVals)
 		}
 	}
 	for m := range out {
@@ -527,7 +563,7 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
 	armWrite()
 	if err := bw.Flush(); err != nil {
 		s.logf("final flush to %v: %v", conn.RemoteAddr(), err)
-		s.requeue(unflushed)
+		s.requeue(id, unflushed)
 		return
 	}
 	if len(unflushed) > 0 {
@@ -541,7 +577,10 @@ func (s *Server) writeLoop(conn net.Conn, out <-chan outMsg) {
 // a bounded queue is full the residue is dropped and settled so a drain
 // terminates instead of waiting for elements nobody holds; the Lost
 // counter records the event.
-func (s *Server) requeue(vs []int64) {
+func (s *Server) requeue(id uint64, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
 	n := 0
 	for _, v := range vs {
 		if s.bounded != nil {
@@ -553,9 +592,11 @@ func (s *Server) requeue(vs []int64) {
 		}
 		n++
 	}
+	s.cfg.Events.Record(telemetry.EvRequeue, id, int64(n), "")
 	if lost := len(vs) - n; lost > 0 {
 		s.backlog.Add(-int64(lost))
 		s.lost.Add(uint64(lost))
+		s.cfg.Events.Record(telemetry.EvLost, id, int64(lost), "bounded queue full on requeue")
 		s.logf("requeue: dropped %d undeliverable value(s), bounded queue full", lost)
 	}
 }
@@ -601,6 +642,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.opMu.Lock()
 	s.draining.Store(true)
 	s.opMu.Unlock()
+	s.cfg.Events.Record(telemetry.EvDrainBegin, 0, s.backlog.Load(), "")
 
 	s.mu.Lock()
 	for l := range s.listeners {
@@ -621,6 +663,7 @@ func (s *Server) Drain(ctx context.Context) error {
 
 	s.closeConns()
 	s.wg.Wait()
+	s.cfg.Events.Record(telemetry.EvDrainEnd, 0, s.backlog.Load(), "")
 	return err
 }
 

@@ -11,6 +11,7 @@ import (
 	"msqueue/internal/core"
 	"msqueue/internal/metrics"
 	"msqueue/internal/ring"
+	"msqueue/internal/telemetry"
 	"msqueue/internal/wire"
 )
 
@@ -364,7 +365,7 @@ func TestWriteFailureRequeuesInFlight(t *testing.T) {
 	out := make(chan outMsg, 1)
 	out <- outMsg{frame: wire.ValuesFrame(1, vs), deqVals: vs}
 	close(out)
-	s.writeLoop(srvEnd, out)
+	s.writeLoop(srvEnd, 1, out)
 
 	if got := s.Lost(); got != 0 {
 		t.Fatalf("Lost = %d, want 0 (the unbounded queue takes everything back)", got)
@@ -682,4 +683,114 @@ func TestCorruptFrameTearsDownAndCounts(t *testing.T) {
 	if got := probe.Site(metrics.WireCorrupt); got != 2 {
 		t.Fatalf("WireCorrupt after bad magic = %d, want 2", got)
 	}
+}
+
+// TestFlightRecorderEvents drives a full connection lifecycle against a
+// capacity-1 bounded queue with a recorder attached and checks the event
+// trail: open (with peer address), RETRY (with the escalating hint and
+// reason), corruption teardown, close, and the drain bracket — the exact
+// reconstruction "what happened before the stall" needs.
+func TestFlightRecorderEvents(t *testing.T) {
+	rec := telemetry.NewRecorder(64)
+	s := New(Config{Queue: ring.New[int](1), RetryHint: time.Millisecond, Events: rec, Logf: t.Logf})
+	c := pipeServer(t, s)
+
+	if resp, err := c.enq(7); err != nil || resp.Type != wire.Ack {
+		t.Fatalf("first enq: %v %v", resp.Type, err)
+	}
+	// Queue full: two refusals, the second with a doubled hint.
+	for i, wantHint := range []time.Duration{time.Millisecond, 2 * time.Millisecond} {
+		resp, err := c.enq(8)
+		if err != nil || resp.Type != wire.Retry {
+			t.Fatalf("refusal %d: %v %v", i, resp.Type, err)
+		}
+		reason, hint, err := wire.DecodeRetry(resp.Payload)
+		if err != nil || reason != wire.RetryFull || hint != wantHint {
+			t.Fatalf("refusal %d decoded %v/%v (%v), want full/%v", i, reason, hint, err, wantHint)
+		}
+	}
+
+	// A corrupt frame tears the connection down and leaves an EvCorrupt.
+	var raw bytes.Buffer
+	if err := wire.Write(&raw, wire.EnqFrame(99, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b := raw.Bytes()
+	b[len(b)-5] ^= 0x01
+	if _, err := c.conn.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the teardown to land (ServeConn runs in a goroutine).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if hasKind(rec, telemetry.EvConnClose) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("EvConnClose never recorded after corrupt frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { // the drain needs a consumer for the backlogged element
+		cl, srv := net.Pipe()
+		defer cl.Close()
+		go s.ServeConn(srv)
+		rc := &rawConn{t: t, conn: cl}
+		for {
+			resp, err := rc.deq()
+			if err != nil || resp.Type == wire.Value {
+				return
+			}
+		}
+	}()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	evs := rec.Events()
+	byKind := map[telemetry.EventKind][]telemetry.Event{}
+	for _, ev := range evs {
+		byKind[ev.Kind] = append(byKind[ev.Kind], ev)
+	}
+	open := byKind[telemetry.EvConnOpen]
+	if len(open) < 1 || open[0].Conn == 0 || open[0].Note == "" {
+		t.Fatalf("EvConnOpen missing serial or address: %+v", open)
+	}
+	retries := byKind[telemetry.EvRetry]
+	if len(retries) != 2 {
+		t.Fatalf("EvRetry count = %d, want 2: %+v", len(retries), evs)
+	}
+	if retries[0].Conn != open[0].Conn || retries[0].Note != "full" ||
+		retries[0].Arg != int64(time.Millisecond) || retries[1].Arg != int64(2*time.Millisecond) {
+		t.Fatalf("EvRetry events wrong: %+v", retries)
+	}
+	if len(byKind[telemetry.EvCorrupt]) != 1 || byKind[telemetry.EvCorrupt][0].Note == "" {
+		t.Fatalf("EvCorrupt missing or noteless: %+v", byKind[telemetry.EvCorrupt])
+	}
+	if len(byKind[telemetry.EvConnClose]) < 1 {
+		t.Fatalf("EvConnClose missing: %+v", evs)
+	}
+	if len(byKind[telemetry.EvDrainBegin]) != 1 || len(byKind[telemetry.EvDrainEnd]) != 1 {
+		t.Fatalf("drain bracket missing: %+v", evs)
+	}
+	if end := byKind[telemetry.EvDrainEnd][0]; end.Arg != 0 {
+		t.Fatalf("EvDrainEnd residual backlog = %d, want 0", end.Arg)
+	}
+	// Kinds are ordered by Seq: open precedes its retries, drain-begin
+	// precedes drain-end.
+	if !(open[0].Seq < retries[0].Seq && byKind[telemetry.EvDrainBegin][0].Seq < byKind[telemetry.EvDrainEnd][0].Seq) {
+		t.Fatalf("event ordering broken:\n%+v", evs)
+	}
+}
+
+func hasKind(rec *telemetry.Recorder, k telemetry.EventKind) bool {
+	for _, ev := range rec.Events() {
+		if ev.Kind == k {
+			return true
+		}
+	}
+	return false
 }

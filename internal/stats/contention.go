@@ -4,11 +4,15 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"msqueue/internal/metrics"
 )
 
 // ContentionRow is one algorithm's contention summary for ContentionTable:
-// the reporting-side view of a metrics.Snapshot (duplicated here so the
-// formatting package does not depend on the instrumentation package).
+// the reporting-side view of a metrics.Snapshot. Build it with
+// ContentionRowFromSnapshot so the retry aggregation and quantile math
+// stay in internal/metrics (one source of truth shared with the telemetry
+// exporter) instead of being re-derived by every reporting caller.
 type ContentionRow struct {
 	// Algorithm is the display label.
 	Algorithm string
@@ -23,6 +27,26 @@ type ContentionRow struct {
 	// zero means "not measured" and renders as "-".
 	EnqP50, EnqP99 time.Duration
 	DeqP50, DeqP99 time.Duration
+}
+
+// ContentionRowFromSnapshot builds the row for one algorithm's probe
+// snapshot: retries and spins via the snapshot's own aggregates, latency
+// quantiles via the histogram's own bucket math. Every renderer of a
+// snapshot (qbench -metrics, qserve's shutdown report) goes through this,
+// so a change to the bucket geometry or the retry-site range cannot leave
+// one report computing from stale assumptions.
+func ContentionRowFromSnapshot(algorithm string, ops int64, snap *metrics.Snapshot) ContentionRow {
+	enq, deq := snap.Latency[metrics.Enqueue], snap.Latency[metrics.Dequeue]
+	return ContentionRow{
+		Algorithm:  algorithm,
+		Ops:        ops,
+		CASRetries: snap.Retries(),
+		LockSpins:  snap.LockSpins(),
+		EnqP50:     enq.Quantile(0.50),
+		EnqP99:     enq.Quantile(0.99),
+		DeqP50:     deq.Quantile(0.50),
+		DeqP99:     deq.Quantile(0.99),
+	}
 }
 
 // ContentionTable renders per-algorithm contention rows as an aligned

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"msqueue/internal/metrics"
 )
 
 func TestContentionTable(t *testing.T) {
@@ -46,5 +48,70 @@ func TestContentionTableZeroOps(t *testing.T) {
 	got := ContentionTable([]ContentionRow{{Algorithm: "x"}})
 	if !strings.Contains(got, "-") {
 		t.Fatalf("zero-ops normalisation should render '-':\n%s", got)
+	}
+}
+
+// TestContentionRowFromAllZeroSnapshot: an untouched probe (or a nil one,
+// which snapshots to zeros) must produce a row that renders cleanly — no
+// NaN rates, no "0s" latencies, zero counts.
+func TestContentionRowFromAllZeroSnapshot(t *testing.T) {
+	var snap metrics.Snapshot // all zeros; also what (*Probe)(nil).Snapshot() returns
+	row := ContentionRowFromSnapshot("idle", 0, &snap)
+	if row.CASRetries != 0 || row.LockSpins != 0 ||
+		row.EnqP50 != 0 || row.EnqP99 != 0 || row.DeqP50 != 0 || row.DeqP99 != 0 {
+		t.Fatalf("zero snapshot produced nonzero row: %+v", row)
+	}
+	got := ContentionTable([]ContentionRow{row})
+	if strings.Contains(got, "NaN") {
+		t.Fatalf("all-zero row rendered NaN:\n%s", got)
+	}
+	if strings.Contains(got, "0s") {
+		t.Fatalf("unmeasured latency rendered as 0s instead of '-':\n%s", got)
+	}
+}
+
+// TestContentionRowFromPopulatedSnapshot drives the wire and epoch sites —
+// the ones appended after the Retries() range — through a real probe and
+// checks the row math: retries count only the retry-class sites, spins
+// count LockSpin, quantiles come from the histogram's bucket math (so a
+// 1ms observation reports in its bucket, never NaN or negative).
+func TestContentionRowFromPopulatedSnapshot(t *testing.T) {
+	p := metrics.NewProbe()
+	p.Add(metrics.EnqueueLinkCAS, 5)
+	p.Add(metrics.RingCatchup, 2)
+	p.Add(metrics.LockSpin, 9)
+	// Wire and epoch sites must NOT leak into the retry aggregate.
+	p.Add(metrics.WireEnq, 1000)
+	p.Add(metrics.WireCorrupt, 4)
+	p.Add(metrics.EpochPin, 500)
+	p.Add(metrics.EpochFlush, 50)
+	for i := 0; i < 8; i++ {
+		p.Observe(metrics.Enqueue, time.Millisecond)
+		p.Observe(metrics.Dequeue, 2*time.Microsecond)
+	}
+	snap := p.Snapshot()
+	row := ContentionRowFromSnapshot("ms-epoch over wire", 16, &snap)
+
+	if row.CASRetries != 7 {
+		t.Fatalf("CASRetries = %d, want 7 (wire/epoch sites must stay out of the aggregate)", row.CASRetries)
+	}
+	if row.LockSpins != 9 {
+		t.Fatalf("LockSpins = %d, want 9", row.LockSpins)
+	}
+	if row.EnqP50 < 512*time.Microsecond || row.EnqP50 > 2*time.Millisecond {
+		t.Fatalf("EnqP50 = %v, want ~1ms bucket", row.EnqP50)
+	}
+	if row.DeqP99 <= 0 || row.DeqP99 > 4*time.Microsecond {
+		t.Fatalf("DeqP99 = %v, want ~2µs bucket", row.DeqP99)
+	}
+
+	got := ContentionTable([]ContentionRow{row})
+	for _, want := range []string{"ms-epoch over wire", "7", "9", "437.50", "562.50"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "NaN") {
+		t.Fatalf("populated row rendered NaN:\n%s", got)
 	}
 }

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is the /healthz response: the handful of numbers an orchestrator
+// or a human needs to answer "is this server alive, and is it keeping
+// up". Rendered as JSON so it is both curl-able and machine-checkable.
+type Health struct {
+	// Status is "ok" while serving, "draining" once the graceful drain
+	// began.
+	Status string `json:"status"`
+	// UptimeSeconds is time since the process started serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Conns is the number of currently served connections.
+	Conns uint64 `json:"conns"`
+	// Backlog is acknowledged-minus-delivered elements: what a drain
+	// still has to flush. 0 at quiescence.
+	Backlog int64 `json:"backlog"`
+	// Enqueued and Dequeued are the cumulative element tallies.
+	Enqueued uint64 `json:"enqueued"`
+	Dequeued uint64 `json:"dequeued"`
+	// Lost is acknowledged elements dropped on failed redelivery —
+	// nonzero means an incident worth the flight recorder's attention.
+	Lost uint64 `json:"lost"`
+}
+
+// HealthNow builds the current health view.
+func (e *Exporter) HealthNow() Health {
+	h := Health{Status: "ok"}
+	if !e.Start.IsZero() {
+		h.UptimeSeconds = time.Since(e.Start).Seconds()
+	}
+	if e.Server != nil {
+		c := e.Server.Counters()
+		if c.Draining {
+			h.Status = "draining"
+		}
+		h.Conns = c.Conns
+		h.Backlog = e.Server.Backlog()
+		h.Enqueued = c.Enqueued
+		h.Dequeued = c.Dequeued
+		h.Lost = e.Server.Lost()
+	}
+	return h
+}
+
+// Mux returns the admin-plane handler: the full observability surface of
+// a running qserve on one listener, deliberately separate from the wire
+// listener so operational traffic never competes with (or is confused
+// for) queue frames.
+//
+//	/metrics        Prometheus text exposition (queue, wire, server, runtime)
+//	/healthz        JSON liveness/drain/backlog summary; 503 while draining
+//	/debug/events   flight-recorder dump, newest events last
+//	/debug/pprof/   the standard Go profiling endpoints
+func (e *Exporter) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", e)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := e.HealthNow()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			// Draining servers fail readiness so load balancers stop
+			// routing new work at them while the backlog flushes.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		e.Recorder.Dump(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

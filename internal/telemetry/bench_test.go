@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msqueue/internal/core"
+	"msqueue/internal/metrics"
+)
+
+// BenchmarkTelemetryOverhead pins the exporter's hot-path cost: an
+// enqueue/dequeue pair on a probed MS queue, first with the probe alone
+// (the -metrics baseline), then with an HTTP scraper hitting /metrics
+// every few milliseconds while the pairs run — far more often than any
+// real Prometheus (which scrapes on the order of seconds). The acceptance
+// bound is that the scraped case is within noise of the metrics-only
+// case: a scrape is a read-only sweep of the probe's atomic stripes and
+// never takes a lock a queue operation could wait on. On a single-core
+// runner the scraper does steal scheduler quanta — that is CPU sharing,
+// visible in both columns of EXPERIMENTS.md, not hot-path perturbation.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, scraped bool) {
+		q := core.NewMS[int]()
+		probe := metrics.NewProbe()
+		q.SetProbe(probe)
+
+		if scraped {
+			e := &Exporter{Probe: probe, Start: time.Now()}
+			srv := httptest.NewServer(e.Mux())
+			defer srv.Close()
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := http.Get(srv.URL + "/metrics")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+		}
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(i)
+			q.Dequeue()
+		}
+	}
+	b.Run("metrics-only", func(b *testing.B) { run(b, false) })
+	b.Run("scraped", func(b *testing.B) { run(b, true) })
+}

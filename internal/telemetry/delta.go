@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"time"
+
+	"msqueue/internal/metrics"
+)
+
+// Sample is one timestamped snapshot of a probe: the unit the delta
+// engine works in. Taking a sample is a read-only atomic sweep over the
+// probe's stripes — no lock is taken, and queue operations racing the
+// sweep at worst land in the next window (the same "exact at quiescence"
+// contract as every counter in this repository).
+type Sample struct {
+	// At is when the snapshot was taken.
+	At time.Time
+	// Snap is the probe's cumulative state at that instant.
+	Snap metrics.Snapshot
+}
+
+// TakeSample snapshots p now. A nil probe samples to all zeros, so a
+// scraper does not need to special-case an unprobed server.
+func TakeSample(p *metrics.Probe) Sample {
+	return Sample{At: time.Now(), Snap: p.Snapshot()}
+}
+
+// Delta is the change between two samples: per-site event counts, per-op
+// latency distributions restricted to the window, and the elapsed time to
+// turn them into rates. Build with Between.
+type Delta struct {
+	// Elapsed is the wall-clock span of the window.
+	Elapsed time.Duration
+	// Sites holds per-site event deltas, each clamped to >= 0.
+	Sites [metrics.NumSites]int64
+	// Latency holds the per-op distribution of observations recorded
+	// inside the window (bucket-wise difference of the cumulative
+	// histograms), so Quantile on it answers "what was p99 *this window*",
+	// not since process start.
+	Latency [metrics.NumOps]metrics.LatencySnapshot
+	// Clamped reports that some counter or bucket went backwards between
+	// the samples — the probe was swapped or reset mid-window, or a
+	// counter wrapped. The affected deltas are clamped to zero rather than
+	// reported as enormous unsigned garbage; a scraper should treat the
+	// window as a restart and key its next delta off the newer sample.
+	Clamped bool
+}
+
+// Between computes the delta from prev to cur. It is pure arithmetic over
+// the two snapshots: safe to call anywhere, including concurrently with
+// the probe's writers.
+func Between(prev, cur Sample) Delta {
+	var d Delta
+	d.Elapsed = cur.At.Sub(prev.At)
+	if d.Elapsed < 0 {
+		d.Elapsed = 0
+	}
+	for s := 0; s < metrics.NumSites; s++ {
+		d.Sites[s] = clamp(cur.Snap.Sites[s]-prev.Snap.Sites[s], &d.Clamped)
+	}
+	for op := 0; op < metrics.NumOps; op++ {
+		// The histograms are monotone per bucket (Observe only adds), so
+		// the windowed distribution is the bucket-wise difference. A new
+		// stripe appearing mid-window is invisible here by construction:
+		// Snapshot already sums stripes, and a stripe that was zero at
+		// prev contributes its whole count to the window, which is when
+		// the observations happened.
+		lp, lc := prev.Snap.Latency[op], cur.Snap.Latency[op]
+		var out metrics.LatencySnapshot
+		for b := 0; b < metrics.NumLatencyBuckets; b++ {
+			n := clamp(lc.Buckets[b]-lp.Buckets[b], &d.Clamped)
+			out.Buckets[b] = n
+			out.Count += n
+		}
+		d.Latency[op] = out
+	}
+	return d
+}
+
+// clamp floors v at zero, flagging the clamp.
+func clamp(v int64, clamped *bool) int64 {
+	if v < 0 {
+		*clamped = true
+		return 0
+	}
+	return v
+}
+
+// Rate returns site s's events per second over the window, or 0 for an
+// empty window.
+func (d *Delta) Rate(s metrics.Site) float64 {
+	if d.Elapsed <= 0 {
+		return 0
+	}
+	return float64(d.Sites[s]) / d.Elapsed.Seconds()
+}
+
+// OpRate returns op's completed operations per second over the window.
+func (d *Delta) OpRate(op metrics.Op) float64 {
+	if d.Elapsed <= 0 {
+		return 0
+	}
+	return float64(d.Latency[op].Count) / d.Elapsed.Seconds()
+}

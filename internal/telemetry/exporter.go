@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"msqueue/internal/metrics"
+	"msqueue/internal/wire"
+)
+
+// ServerStats is the gauge surface the exporter reads from a running
+// server. internal/server.Server satisfies it; the indirection keeps this
+// package free of a server dependency (server imports telemetry for the
+// Recorder, so the reverse edge would be a cycle).
+type ServerStats interface {
+	// Counters is the cumulative wire-path tally (enqueued, dequeued,
+	// empties, retries, open conns, draining).
+	Counters() wire.Counters
+	// Backlog is acknowledged-minus-delivered elements.
+	Backlog() int64
+	// Lost is acknowledged elements dropped on failed redelivery.
+	Lost() uint64
+}
+
+// Exporter renders live process state in the Prometheus text exposition
+// format (version 0.0.4) and serves the /healthz and /debug/events admin
+// endpoints. Every field is optional: a nil Probe exports zero queue
+// series values, a nil Server omits the server gauges, a nil Recorder
+// omits the flight-recorder series.
+//
+// A scrape is read-only and lock-free with respect to the hot path: it
+// sweeps the probe's atomic stripes, loads the server's atomic tallies
+// (Counters briefly takes the server's conns mutex — a per-accept lock,
+// not a per-operation one) and reads runtime memory stats. No queue
+// operation ever blocks on a scrape; BenchmarkTelemetryOverhead pins the
+// hot-path cost of a concurrent scraper to within noise.
+type Exporter struct {
+	// Probe supplies the queue/wire counters and latency histograms.
+	Probe *metrics.Probe
+	// Server supplies the server gauges; nil omits them.
+	Server ServerStats
+	// Recorder supplies the flight-recorder series and /debug/events; nil
+	// omits them.
+	Recorder *Recorder
+	// Start anchors the uptime gauge; the zero value omits it.
+	Start time.Time
+}
+
+// ServeHTTP renders /metrics.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.WriteMetrics(w)
+}
+
+// WriteMetrics writes the full exposition to w.
+func (e *Exporter) WriteMetrics(w io.Writer) {
+	snap := e.Probe.Snapshot()
+
+	series(w, "queue_site_events_total", "counter",
+		"Events at one instrumented probe site (internal/metrics site labels).")
+	for s := 0; s < metrics.NumSites; s++ {
+		fmt.Fprintf(w, "queue_site_events_total{site=%q} %d\n", metrics.Site(s).Label(), snap.Sites[s])
+	}
+	series(w, "queue_retries_total", "counter",
+		"Extra queue-operation loop iterations (CAS failures, re-reads, helping swings).")
+	fmt.Fprintf(w, "queue_retries_total %d\n", snap.Retries())
+	series(w, "queue_lock_spins_total", "counter",
+		"Observed-held lock probes and blocked waits.")
+	fmt.Fprintf(w, "queue_lock_spins_total %d\n", snap.LockSpins())
+
+	for op := 0; op < metrics.NumOps; op++ {
+		e.writeHistogram(w, metrics.Op(op), snap.Latency[op])
+	}
+
+	if e.Server != nil {
+		c := e.Server.Counters()
+		series(w, "queue_enqueues_total", "counter", "Elements acknowledged by the server.")
+		fmt.Fprintf(w, "queue_enqueues_total %d\n", c.Enqueued)
+		series(w, "queue_dequeues_total", "counter", "Elements delivered (flushed) to consumers.")
+		fmt.Fprintf(w, "queue_dequeues_total %d\n", c.Dequeued)
+		series(w, "queue_empty_polls_total", "counter", "Dequeue requests that found the queue empty.")
+		fmt.Fprintf(w, "queue_empty_polls_total %d\n", c.Empties)
+		series(w, "server_retry_frames_total", "counter", "RETRY responses sent (backpressure or draining).")
+		fmt.Fprintf(w, "server_retry_frames_total %d\n", c.Retries)
+		series(w, "server_open_conns", "gauge", "Currently served connections.")
+		fmt.Fprintf(w, "server_open_conns %d\n", c.Conns)
+		series(w, "server_backlog", "gauge", "Acknowledged-minus-delivered elements (what a drain must flush).")
+		fmt.Fprintf(w, "server_backlog %d\n", e.Server.Backlog())
+		series(w, "server_draining", "gauge", "1 while the graceful drain is in progress or done, else 0.")
+		fmt.Fprintf(w, "server_draining %d\n", b2i(c.Draining))
+		series(w, "server_lost_total", "counter", "Acknowledged elements dropped on failed redelivery (zero in orderly runs).")
+		fmt.Fprintf(w, "server_lost_total %d\n", e.Server.Lost())
+	}
+
+	if !e.Start.IsZero() {
+		series(w, "server_uptime_seconds", "gauge", "Seconds since the exporter's process started serving.")
+		fmt.Fprintf(w, "server_uptime_seconds %.3f\n", time.Since(e.Start).Seconds())
+	}
+
+	if e.Recorder != nil {
+		series(w, "flight_recorder_events_total", "counter", "Events ever recorded (including overwritten).")
+		fmt.Fprintf(w, "flight_recorder_events_total %d\n", e.Recorder.Recorded())
+		series(w, "flight_recorder_retained_events", "gauge", "Events currently retained in the ring.")
+		fmt.Fprintf(w, "flight_recorder_retained_events %d\n", len(e.Recorder.Events()))
+	}
+
+	e.writeRuntime(w)
+}
+
+// writeHistogram renders one op's latency distribution as a Prometheus
+// cumulative histogram in seconds. Bucket boundaries come from
+// metrics.BucketUpperBound — the same source of truth the stats tables
+// quantile against — and only buckets at or below the highest non-empty
+// one are emitted (a cumulative histogram needs no trailing flat lines);
+// +Inf carries the total. The _sum is midpoint-weighted, the histogram's
+// usual 2x-resolution approximation, flagged in HELP.
+func (e *Exporter) writeHistogram(w io.Writer, op metrics.Op, l metrics.LatencySnapshot) {
+	name := "queue_op_latency_seconds"
+	if op == 0 { // emit the header once, before the first op's buckets
+		series(w, name, "histogram",
+			"Per-operation latency; log-bucketed, sum is midpoint-weighted (2x resolution).")
+	}
+	top := -1
+	for b := 0; b < metrics.NumLatencyBuckets; b++ {
+		if l.Buckets[b] != 0 {
+			top = b
+		}
+	}
+	var cum int64
+	var sum float64
+	for b := 0; b <= top; b++ {
+		cum += l.Buckets[b]
+		sum += float64(l.Buckets[b]) * metrics.BucketMidpoint(b).Seconds()
+		fmt.Fprintf(w, "%s_bucket{op=%q,le=%q} %d\n", name, op, formatLE(metrics.BucketUpperBound(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{op=%q,le=\"+Inf\"} %d\n", name, op, l.Count)
+	fmt.Fprintf(w, "%s_sum{op=%q} %g\n", name, op, sum)
+	fmt.Fprintf(w, "%s_count{op=%q} %d\n", name, op, l.Count)
+}
+
+// writeRuntime exports the Go runtime gauges: scheduler shape and memory
+// pressure, the process-level context the queue series sit in.
+func (e *Exporter) writeRuntime(w io.Writer) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	series(w, "go_goroutines", "gauge", "Live goroutines.")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	series(w, "go_gomaxprocs", "gauge", "GOMAXPROCS.")
+	fmt.Fprintf(w, "go_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	series(w, "go_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	fmt.Fprintf(w, "go_heap_alloc_bytes %d\n", m.HeapAlloc)
+	series(w, "go_heap_objects", "gauge", "Live heap objects.")
+	fmt.Fprintf(w, "go_heap_objects %d\n", m.HeapObjects)
+	series(w, "go_gc_cycles_total", "counter", "Completed GC cycles.")
+	fmt.Fprintf(w, "go_gc_cycles_total %d\n", m.NumGC)
+	series(w, "go_gc_pause_seconds_total", "counter", "Cumulative stop-the-world pause time.")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", float64(m.PauseTotalNs)/1e9)
+	series(w, "go_next_gc_bytes", "gauge", "Heap size target of the next GC cycle.")
+	fmt.Fprintf(w, "go_next_gc_bytes %d\n", m.NextGC)
+}
+
+// series writes the HELP/TYPE preamble for one metric family.
+func series(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatLE renders a bucket bound in seconds the way Prometheus le label
+// values are conventionally written (shortest float form).
+func formatLE(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

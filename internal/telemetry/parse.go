@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads a Prometheus text exposition (the format WriteMetrics
+// emits) back into a map from series key to value, where the key is the
+// metric name with its label set verbatim (`queue_enqueues_total`,
+// `queue_site_events_total{site="wire_corrupt"}`). It is the scrape side
+// of the exporter — qbench's -scrape mode and the telemetry example use
+// it — covering the subset this repository emits: one value per line, no
+// timestamps, comments and blank lines skipped.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; label values are
+		// quoted, so a space inside a label does not split the line wrong
+		// as long as we cut from the right.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("telemetry: metrics line %d has no value: %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:cut])
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: metrics line %d value: %w", lineNo, err)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: scanning metrics: %w", err)
+	}
+	return out, nil
+}
